@@ -1,0 +1,278 @@
+package autotune
+
+// One benchmark per table and figure of the paper (the regeneration
+// harness required by DESIGN.md's per-experiment index), plus ablation
+// benchmarks for the design choices of DESIGN.md section 5.
+//
+// The figure/table benchmarks run the corresponding experiment at a
+// reduced but meaningful scale and report the reproduced headline metric
+// through b.ReportMetric, so `go test -bench=.` both times the harness
+// and re-derives the paper's numbers. Full-scale runs:
+//
+//	go run ./cmd/experiments -exp all
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/forest"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/sim"
+)
+
+// benchConfig is the reduced scale used by the per-figure benchmarks.
+func benchConfig(seed uint64) experiments.Config {
+	return experiments.Config{
+		Seed: seed, NMax: 50, PoolSize: 2000, DeltaPct: 20, Trees: 50,
+		CorrelationSamples: 100,
+	}
+}
+
+func runExperiment(b *testing.B, id string, metrics map[string]string) {
+	b.Helper()
+	var rep *experiments.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = experiments.Run(id, benchConfig(2016))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for key, unit := range metrics {
+		if v, ok := rep.Values[key]; ok {
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	runExperiment(b, "fig1", map[string]string{
+		"pearson": "pearson", "spearman": "spearman",
+	})
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	runExperiment(b, "fig2", map[string]string{
+		"leaves": "leaves", "depth": "depth",
+	})
+}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1", nil) }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2", nil) }
+
+func BenchmarkTable3(b *testing.B) {
+	runExperiment(b, "table3", map[string]string{
+		"MM/size": "MM-configs", "LU/size": "LU-configs",
+	})
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	runExperiment(b, "fig3", map[string]string{
+		"LU/RSb/search": "LU-RSb-srh", "LU/spearman": "LU-spearman",
+		"HPL/spearman": "HPL-spearman",
+	})
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	runExperiment(b, "fig4", map[string]string{
+		"LU/RSb/search": "LU-RSb-srh", "LU/spearman": "LU-spearman",
+	})
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	runExperiment(b, "fig5", map[string]string{
+		"LU/RSb/search": "LU-RSb-srh", "MM/RSb/perf": "MM-RSb-prf",
+	})
+}
+
+func BenchmarkTable4(b *testing.B) {
+	runExperiment(b, "table4", map[string]string{
+		"LU/Westmere->Sandybridge/search": "LU-W-SB-srh",
+		"LU/Sandybridge->X-Gene/perf":     "LU-SB-XG-prf",
+	})
+}
+
+func BenchmarkTable5(b *testing.B) {
+	runExperiment(b, "table5", map[string]string{
+		"LU/Sandybridge->XeonPhi/search": "LU-SB-Phi-srh",
+		"MM/Sandybridge->XeonPhi/perf":   "MM-SB-Phi-prf",
+	})
+}
+
+func BenchmarkExtInputSize(b *testing.B) {
+	runExperiment(b, "ext-inputsize", map[string]string{
+		"N1000/spearman": "crosssize-spearman",
+	})
+}
+
+func BenchmarkExtAlgos(b *testing.B)      { runExperiment(b, "ext-algos", nil) }
+func BenchmarkExtSurrogates(b *testing.B) { runExperiment(b, "ext-surrogates", nil) }
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks (DESIGN.md section 5): each reports the RSb
+// search-time speedup achieved under the varied design choice on the
+// canonical LU Westmere -> Sandybridge transfer.
+
+func transferPieces(b *testing.B) (src, tgt search.Problem) {
+	b.Helper()
+	lu, err := kernels.ByName("LU")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src = kernels.NewProblem(lu, sim.Target{Machine: machine.Westmere, Compiler: machine.GNU, Threads: 1})
+	tgt = kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
+	return src, tgt
+}
+
+func benchTransfer(b *testing.B, opts core.Options) {
+	b.Helper()
+	src, tgt := transferPieces(b)
+	var out *core.Outcome
+	var err error
+	for i := 0; i < b.N; i++ {
+		out, err = core.Run(src, tgt, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(out.Speedups["RSb"].SearchTime, "RSb-srh")
+	b.ReportMetric(out.Speedups["RSb"].Performance, "RSb-prf")
+}
+
+func ablationOpts() core.Options {
+	return core.Options{NMax: 50, PoolSize: 2000, DeltaPct: 20,
+		Forest: forest.Params{Trees: 50}, Seed: 2016}
+}
+
+// BenchmarkAblationForestTrees varies the surrogate ensemble size.
+func BenchmarkAblationForestTrees(b *testing.B) {
+	for _, trees := range []int{5, 25, 100, 250} {
+		b.Run(benchName("trees", trees), func(b *testing.B) {
+			opts := ablationOpts()
+			opts.Forest.Trees = trees
+			benchTransfer(b, opts)
+		})
+	}
+}
+
+// BenchmarkAblationDelta varies RSp's pruning cutoff (the paper fixes
+// delta = 20%); reported through the RSp metrics.
+func BenchmarkAblationDelta(b *testing.B) {
+	src, tgt := transferPieces(b)
+	for _, delta := range []float64{5, 20, 50, 80} {
+		b.Run(benchName("delta", int(delta)), func(b *testing.B) {
+			opts := ablationOpts()
+			opts.DeltaPct = delta
+			var out *core.Outcome
+			var err error
+			for i := 0; i < b.N; i++ {
+				out, err = core.Run(src, tgt, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(out.Speedups["RSp"].SearchTime, "RSp-srh")
+			b.ReportMetric(out.Speedups["RSp"].Performance, "RSp-prf")
+		})
+	}
+}
+
+// BenchmarkAblationPoolSize varies the configuration pool N (paper: 10000).
+func BenchmarkAblationPoolSize(b *testing.B) {
+	for _, pool := range []int{200, 2000, 10000} {
+		b.Run(benchName("pool", pool), func(b *testing.B) {
+			opts := ablationOpts()
+			opts.PoolSize = pool
+			benchTransfer(b, opts)
+		})
+	}
+}
+
+// BenchmarkAblationTrainSize varies |Ta| while the target budget stays
+// fixed at 50 evaluations.
+func BenchmarkAblationTrainSize(b *testing.B) {
+	src, tgt := transferPieces(b)
+	for _, n := range []int{10, 25, 50, 150} {
+		b.Run(benchName("ta", n), func(b *testing.B) {
+			var speedup core.Speedups
+			for i := 0; i < b.N; i++ {
+				seed := uint64(2016)
+				_, ta := core.Collect(src, n, rng.NewNamed(seed, "collect"))
+				sur, err := core.FitSurrogate(ta, src.Space(), src.Name(),
+					forest.Params{Trees: 50}, rng.NewNamed(seed, "forest"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rs := search.RS(tgt, 50, rng.NewNamed(seed, "rs"))
+				rsb := search.RSb(tgt, sur, search.RSbOptions{NMax: 50, PoolSize: 2000},
+					rng.NewNamed(seed, "pool"))
+				speedup = core.ComputeSpeedups(rs, rsb)
+			}
+			b.ReportMetric(speedup.SearchTime, "RSb-srh")
+		})
+	}
+}
+
+// BenchmarkAblationSurrogate compares the surrogate families of
+// internal/core/baselines.go.
+func BenchmarkAblationSurrogate(b *testing.B) {
+	src, tgt := transferPieces(b)
+	for _, fam := range []core.SurrogateFamily{
+		core.FamilyForest, core.FamilyTree, core.FamilyKNN, core.FamilyLinear,
+	} {
+		b.Run(string(fam), func(b *testing.B) {
+			var speedup core.Speedups
+			for i := 0; i < b.N; i++ {
+				seed := uint64(2016)
+				_, ta := core.Collect(src, 50, rng.NewNamed(seed, "collect"))
+				m, err := core.FitFamily(fam, ta, src.Space(), seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rs := search.RS(tgt, 50, rng.NewNamed(seed, "rs"))
+				rsb := search.RSb(tgt, m, search.RSbOptions{NMax: 50, PoolSize: 2000},
+					rng.NewNamed(seed, "pool"))
+				speedup = core.ComputeSpeedups(rs, rsb)
+			}
+			b.ReportMetric(speedup.SearchTime, "RSb-srh")
+			b.ReportMetric(speedup.Performance, "RSb-prf")
+		})
+	}
+}
+
+// BenchmarkEvaluate times one simulator evaluation (the per-configuration
+// cost every search pays).
+func BenchmarkEvaluate(b *testing.B) {
+	lu, err := kernels.ByName("LU")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
+	c := lu.Space().Random(rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Evaluate(c)
+	}
+}
+
+func benchName(tag string, v int) string {
+	return tag + "-" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

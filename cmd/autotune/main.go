@@ -1,0 +1,168 @@
+// Command autotune tunes one problem on one simulated machine with a
+// chosen search algorithm.
+//
+// Usage:
+//
+//	autotune -problem LU -machine Sandybridge [-compiler gnu-4.4.7]
+//	         [-threads 1] [-algo rs|sa|ga|ps|ensemble] [-nmax 100] [-seed 42]
+//
+// Problems: MM, ATAX, COR, LU (SPAPT kernels), HPL, RT (mini-apps), or
+// -annotation FILE for a kernel in the annotation language.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/annotate"
+	"repro/internal/codegen"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/miniapps"
+	"repro/internal/opentuner"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/transform"
+)
+
+func main() {
+	var (
+		problem    = flag.String("problem", "LU", "MM|ATAX|COR|LU|HPL|RT")
+		annotation = flag.String("annotation", "", "path to an annotated kernel file (overrides -problem)")
+		machineN   = flag.String("machine", "Sandybridge", "target machine")
+		compilerN  = flag.String("compiler", "gnu-4.4.7", "compiler")
+		threads    = flag.Int("threads", 1, "OpenMP threads")
+		algo       = flag.String("algo", "rs", "rs|sa|ga|ps|ensemble")
+		nmax       = flag.Int("nmax", 100, "evaluation budget")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		verbose    = flag.Bool("v", false, "print every evaluation")
+		emit       = flag.Bool("emit", false, "print the best variant as C code (kernel problems)")
+	)
+	flag.Parse()
+
+	p, err := buildProblem(*problem, *annotation, *machineN, *compilerN, *threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autotune:", err)
+		os.Exit(1)
+	}
+
+	r := rng.New(*seed)
+	var res *search.Result
+	switch *algo {
+	case "rs":
+		res = search.RS(p, *nmax, r)
+	case "sa":
+		res = search.Drive(p, search.NewAnneal(p.Space(), r, 0.95), *nmax)
+	case "ga":
+		res = search.Drive(p, search.NewGenetic(p.Space(), r, 16, 0.15), *nmax)
+	case "ps":
+		res = search.Drive(p, search.NewPattern(p.Space(), r, 4), *nmax)
+	case "ensemble":
+		tuner := opentuner.New(opentuner.Options{NMax: *nmax}, r)
+		var pulls map[string]int
+		res, pulls = tuner.Run(p)
+		defer func() { fmt.Printf("technique pulls: %v\n", pulls) }()
+	default:
+		fmt.Fprintf(os.Stderr, "autotune: unknown algorithm %q\n", *algo)
+		os.Exit(1)
+	}
+
+	if *verbose {
+		for i, rec := range res.Records {
+			fmt.Printf("%3d  run=%9.4fs  clock=%10.2fs  %s\n",
+				i+1, rec.RunTime, rec.Elapsed, p.Space().String(rec.Config))
+		}
+	}
+	best, idx, ok := res.Best()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "autotune: no evaluations")
+		os.Exit(1)
+	}
+	fmt.Printf("problem:     %s\n", p.Name())
+	fmt.Printf("algorithm:   %s, %d evaluations\n", res.Algorithm, len(res.Records))
+	fmt.Printf("best config: %s\n", p.Space().String(best.Config))
+	fmt.Printf("best run:    %.4f s (found after %d evaluations, %.1f s of search)\n",
+		best.RunTime, idx+1, res.Records[idx].Elapsed)
+	fmt.Printf("search time: %.1f s total\n", res.Elapsed())
+
+	if *emit {
+		if err := emitBest(p, best.Config); err != nil {
+			fmt.Fprintln(os.Stderr, "autotune: emit:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// emitBest prints the winning configuration's generated C code when the
+// problem is a kernel (mini-apps have no code to emit).
+func emitBest(p search.Problem, c space.Config) error {
+	kp, ok := p.(*kernels.Problem)
+	if !ok {
+		return fmt.Errorf("-emit only applies to kernel problems")
+	}
+	k := kp.Kernel
+	specs := k.SpecsFor(c)
+	fmt.Println()
+	fmt.Print(codegen.Preamble())
+	for ni, nest := range k.Nests {
+		variant, err := transform.Apply(nest, specs[ni])
+		if err != nil {
+			return err
+		}
+		src, err := codegen.Emit(variant, codegen.Options{
+			OpenMP:        k.OMPEnabled(c) && kp.Target.Threads > 1,
+			VectorHint:    specs[ni].VectorHint,
+			ScalarReplace: specs[ni].ScalarReplace,
+			FuncName:      fmt.Sprintf("%s_variant_%d", k.Name, ni),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(src)
+	}
+	return nil
+}
+
+func buildProblem(name, annotation, machineN, compilerN string, threads int) (search.Problem, error) {
+	m, err := machine.ByName(machineN)
+	if err != nil {
+		return nil, err
+	}
+	if annotation != "" {
+		text, err := os.ReadFile(annotation)
+		if err != nil {
+			return nil, err
+		}
+		k, err := annotate.Parse(string(text))
+		if err != nil {
+			return nil, err
+		}
+		comp, err := machine.CompilerByName(compilerN)
+		if err != nil {
+			return nil, err
+		}
+		return kernels.NewProblem(k, sim.Target{Machine: m, Compiler: comp, Threads: threads}), nil
+	}
+	switch name {
+	case "HPL":
+		return miniapps.NewProblem(miniapps.HPL(), m), nil
+	case "RT":
+		return miniapps.NewProblem(miniapps.RT(), m), nil
+	default:
+		k, err := kernels.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		comp, err := machine.CompilerByName(compilerN)
+		if err != nil {
+			return nil, err
+		}
+		if !m.SupportsCompiler(comp) {
+			return nil, fmt.Errorf("compiler %s not available on %s", compilerN, machineN)
+		}
+		return kernels.NewProblem(k, sim.Target{Machine: m, Compiler: comp, Threads: threads}), nil
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+func TestBuildProblemVariants(t *testing.T) {
+	if _, err := buildProblem("LU", "", "Sandybridge", "gnu-4.4.7", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildProblem("HPL", "", "Power7", "gnu-4.4.7", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildProblem("RT", "", "X-Gene", "gnu-4.4.7", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildProblem("NOPE", "", "Sandybridge", "gnu-4.4.7", 1); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+	if _, err := buildProblem("LU", "", "C64", "gnu-4.4.7", 1); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if _, err := buildProblem("LU", "", "Power7", "intel-15.0.1", 1); err == nil {
+		t.Fatal("icc on Power7 accepted")
+	}
+}
+
+func TestBuildProblemFromAnnotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kernel.orio")
+	text := `
+kernel tiny input 32
+size N = 32
+array A[N] elem 8
+nest n
+loop i = 0 .. N
+stmt A[i] = A[i] flops 1
+param U_I on i unroll 1..4
+param T_I on i tile pow2 0..2
+param RT_I on i regtile pow2 0..1
+`
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := buildProblem("ignored", path, "Westmere", "gnu-4.4.7", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Space().NumParams() != 3 {
+		t.Fatalf("annotated problem has %d params", p.Space().NumParams())
+	}
+	if _, err := buildProblem("x", filepath.Join(dir, "missing"), "Westmere", "gnu-4.4.7", 1); err == nil {
+		t.Fatal("missing annotation file accepted")
+	}
+}
+
+func TestEmitBestRequiresKernelProblem(t *testing.T) {
+	hpl, err := buildProblem("HPL", "", "Sandybridge", "gnu-4.4.7", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emitBest(hpl, hpl.Space().Default()); err == nil {
+		t.Fatal("emit on a mini-app accepted")
+	}
+	lu, _ := buildProblem("LU", "", "Sandybridge", "gnu-4.4.7", 1)
+	if _, ok := lu.(*kernels.Problem); !ok {
+		t.Fatal("kernel problem type assertion broken")
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestBuild(t *testing.T) {
+	for _, name := range []string{"LU", "HPL", "RT"} {
+		p, err := build(name, "Power7")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Space().NumParams() == 0 {
+			t.Fatalf("%s: empty space", name)
+		}
+	}
+	if _, err := build("LU", "Cray-1"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if _, err := build("FFT", "Power7"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}

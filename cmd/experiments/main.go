@@ -1,0 +1,97 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-exp all|fig1,fig3,table4] [-seed N] [-quick]
+//	            [-nmax N] [-pool N] [-trees N] [-outdir DIR] [-values]
+//
+// Each experiment prints its report to stdout. With -outdir, the tables
+// are additionally written as CSV and the named values as .txt files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed   = flag.Uint64("seed", 2016, "random seed")
+		quick  = flag.Bool("quick", false, "reduced scale (for smoke runs)")
+		nmax   = flag.Int("nmax", 0, "evaluation budget (default: paper's 100)")
+		pool   = flag.Int("pool", 0, "configuration pool size (default: paper's 10000)")
+		trees  = flag.Int("trees", 0, "surrogate forest size (default 100)")
+		outdir = flag.String("outdir", "", "directory for CSV/value exports")
+		values = flag.Bool("values", false, "also print the named scalar values")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, NMax: *nmax, PoolSize: *pool, Trees: *trees}
+	if *quick {
+		cfg = experiments.Quick(*seed)
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Text)
+		if *values {
+			fmt.Println("values:")
+			fmt.Print(experiments.Summary(rep))
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+
+		if *outdir != "" {
+			if err := export(*outdir, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: export: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func export(dir string, rep *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, rep.ID+".txt"), []byte(rep.Text), 0o644); err != nil {
+		return err
+	}
+	if len(rep.Values) > 0 {
+		path := filepath.Join(dir, rep.ID+"-values.txt")
+		if err := os.WriteFile(path, []byte(experiments.Summary(rep)), 0o644); err != nil {
+			return err
+		}
+	}
+	for i, tb := range rep.Tables {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s-table%d.csv", rep.ID, i)))
+		if err != nil {
+			return err
+		}
+		if err := tb.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestExportWritesArtifacts(t *testing.T) {
+	rep, err := experiments.Run("table3", experiments.Quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := export(dir, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table3.txt", "table3-values.txt", "table3-table0.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing artifact %s: %v", name, err)
+		}
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "table3-table0.csv"))
+	if len(data) == 0 {
+		t.Fatal("empty CSV")
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/rng"
+	"repro/internal/search"
+)
+
+func TestBuildProblem(t *testing.T) {
+	for _, name := range []string{"MM", "ATAX", "COR", "LU", "HPL", "RT"} {
+		if _, err := buildProblem(name, "Sandybridge", "gnu-4.4.7", 1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := buildProblem("LU", "VAX", "gnu-4.4.7", 1); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestWriteArtifacts(t *testing.T) {
+	src, err := buildProblem("LU", "Westmere", "gnu-4.4.7", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ta := core.Collect(src, 15, rng.New(1))
+	dir := t.TempDir()
+
+	taPath := filepath.Join(dir, "ta.csv")
+	if err := writeTa(taPath, ta, src.Space()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(taPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := search.LoadCSV(f, src.Space())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(ta) {
+		t.Fatalf("roundtrip rows %d vs %d", len(loaded), len(ta))
+	}
+
+	sur, err := core.FitSurrogate(ta, src.Space(), "test", forest.Params{Trees: 10}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath := filepath.Join(dir, "model.json")
+	if err := writeModel(modelPath, sur); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	if _, err := forest.Load(mf); err != nil {
+		t.Fatalf("saved model unreadable: %v", err)
+	}
+}

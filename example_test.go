@@ -1,0 +1,64 @@
+package autotune_test
+
+import (
+	"fmt"
+
+	autotune "repro"
+)
+
+// ExampleRandomSearch tunes the LU kernel on the simulated Sandybridge
+// machine with plain random search.
+func ExampleRandomSearch() {
+	p, err := autotune.NewKernelProblem("LU", "Sandybridge", "gnu-4.4.7", 1)
+	if err != nil {
+		panic(err)
+	}
+	res := autotune.RandomSearch(p, 50, 42)
+	best, _, _ := res.Best()
+	fmt.Printf("evaluated %d configurations, best run %.2f s\n",
+		len(res.Records), best.RunTime)
+	// Output:
+	// evaluated 50 configurations, best run 0.96 s
+}
+
+// ExampleTransfer runs the paper's headline experiment: Westmere data
+// accelerating the Sandybridge search.
+func ExampleTransfer() {
+	src, _ := autotune.NewKernelProblem("LU", "Westmere", "gnu-4.4.7", 1)
+	tgt, _ := autotune.NewKernelProblem("LU", "Sandybridge", "gnu-4.4.7", 1)
+	out, err := autotune.Transfer(src, tgt, autotune.TransferOptions{
+		NMax: 50, PoolSize: 2000, Seed: 2016,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("correlation strong: %v\n", out.Spearman > 0.9)
+	fmt.Printf("RSb successful: %v\n", out.Speedups["RSb"].Success)
+	// Output:
+	// correlation strong: true
+	// RSb successful: true
+}
+
+// ExampleParseKernel defines a kernel in the annotation language and
+// evaluates its untransformed default.
+func ExampleParseKernel() {
+	k, err := autotune.ParseKernel(`
+kernel axpy input 1000000
+size N = 1000000
+array x[N] elem 8
+array y[N] elem 8
+nest main
+loop i = 0 .. N
+stmt y[i] += x[i] flops 2
+param U_I on i unroll 1..8
+param T_I on i tile pow2 0..6
+param RT_I on i regtile pow2 0..3
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s has %d parameters over %.0f configurations\n",
+		k.Name, k.Space().NumParams(), k.Space().Size())
+	// Output:
+	// axpy has 3 parameters over 224 configurations
+}

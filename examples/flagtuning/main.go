@@ -1,0 +1,69 @@
+// Flag-tuning example — the paper's Raytracer study: tune the 143 g++
+// flags and 104 numeric parameters of a C++ raytracer, then reuse the
+// knowledge across machines. Flag effects are largely portable across
+// the big out-of-order machines, so biasing transfers well.
+//
+//	go run ./examples/flagtuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	autotune "repro"
+)
+
+func main() {
+	west, err := autotune.NewRTProblem("Westmere")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sandy, err := autotune.NewRTProblem("Sandybridge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flag space: %d parameters, %.3g configurations\n",
+		sandy.Space().NumParams(), sandy.Space().Size())
+
+	out, err := autotune.Transfer(west, sandy, autotune.TransferOptions{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("render-time correlation across machines: spearman=%.2f\n", out.Spearman)
+	for _, name := range []string{"RSp", "RSb"} {
+		sp := out.Speedups[name]
+		fmt.Printf("%-4s performance %.2fx, search time %.2fx\n",
+			name, sp.Performance, sp.SearchTime)
+	}
+
+	// Every RT evaluation pays a full g++ recompile, so pruning bad flag
+	// sets without compiling them is where the search time goes.
+	rsBest, rsIdx, _ := out.RS.Best()
+	fmt.Printf("\nRS spent %.0f s (mostly compiles) to reach its best %.2f s render\n",
+		out.RS.Records[rsIdx].Elapsed, rsBest.RunTime)
+	if t, ok := out.RSb.TimeToReach(rsBest.RunTime); ok {
+		fmt.Printf("RSb matched that quality after %.0f s of its own clock\n", t)
+	} else {
+		fmt.Println("RSb never matched that exact quality on this seed")
+	}
+
+	// Which flags mattered? Ask the surrogate's feature importances.
+	sur, err := autotune.FitSurrogate(out.Ta, west.Space(), west.Name(),
+		autotune.ForestParams{}, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	imp := sur.Forest.Importance()
+	names := west.Space().FeatureNames()
+	bestIdx, second := 0, 1
+	for i := 1; i < len(imp); i++ {
+		switch {
+		case imp[i] > imp[bestIdx]:
+			second, bestIdx = bestIdx, i
+		case i != bestIdx && imp[i] > imp[second]:
+			second = i
+		}
+	}
+	fmt.Printf("most informative flags: %s (%.0f%%), %s (%.0f%%)\n",
+		names[bestIdx], imp[bestIdx]*100, names[second], imp[second]*100)
+}

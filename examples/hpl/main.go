@@ -1,0 +1,49 @@
+// HPL example: tune the High Performance LINPACK mini-app (15 parameters:
+// block size, process grid, broadcast algorithm, ...) with the
+// OpenTuner-style technique ensemble, then transfer the result to
+// another machine — and watch the transfer struggle, because HPL's
+// cross-machine correlation is weak (as the paper observed).
+//
+//	go run ./examples/hpl
+package main
+
+import (
+	"fmt"
+	"log"
+
+	autotune "repro"
+)
+
+func main() {
+	sandy, err := autotune.NewHPLProblem("Sandybridge")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ensemble tuning (SA + GA + pattern search + random under a UCB
+	// bandit), as the paper does with OpenTuner.
+	res, pulls := autotune.EnsembleTune(sandy, 100, 1)
+	best, _, _ := res.Best()
+	fmt.Printf("ensemble best on Sandybridge: %.1f s\n", best.RunTime)
+	fmt.Printf("  %s\n", sandy.Space().String(best.Config))
+	fmt.Printf("technique budget allocation: %v\n\n", pulls)
+
+	// Now the transfer view: Westmere data guiding Sandybridge.
+	west, err := autotune.NewHPLProblem("Westmere")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := autotune.Transfer(west, sandy, autotune.TransferOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HPL cross-machine correlation: pearson=%.2f spearman=%.2f (weak!)\n",
+		out.Pearson, out.Spearman)
+	sp := out.Speedups["RSb"]
+	fmt.Printf("RSb transfer: performance %.2fx, search time %.2fx — ", sp.Performance, sp.SearchTime)
+	if sp.Success {
+		fmt.Println("a lucky success; HPL transfers are unreliable")
+	} else {
+		fmt.Println("no benefit, as the paper found for HPL")
+	}
+}

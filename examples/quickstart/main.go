@@ -1,0 +1,37 @@
+// Quickstart: autotune the LU decomposition kernel on the simulated
+// Sandybridge machine with plain random search, and print the winner.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	autotune "repro"
+)
+
+func main() {
+	// A tuning problem = kernel x machine x compiler (x threads).
+	problem, err := autotune.NewKernelProblem("LU", "Sandybridge", "gnu-4.4.7", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuning %s over %.3g configurations\n",
+		problem.Name(), problem.Space().Size())
+
+	// 100 evaluations of random search without replacement (the paper's
+	// budget), seeded for reproducibility.
+	result := autotune.RandomSearch(problem, 100, 42)
+
+	best, foundAt, _ := result.Best()
+	fmt.Printf("evaluated %d configurations in %.0f simulated seconds\n",
+		len(result.Records), result.Elapsed())
+	fmt.Printf("best run time %.3f s, found at evaluation %d:\n  %s\n",
+		best.RunTime, foundAt+1, problem.Space().String(best.Config))
+
+	// The best-so-far trajectory (the y-axis of the paper's figures).
+	traj := result.BestSoFar()
+	fmt.Printf("best-so-far after 10/50/100 evals: %.3f / %.3f / %.3f s\n",
+		traj[9], traj[49], traj[99])
+}

@@ -1,0 +1,59 @@
+// Transfer example — the paper's headline experiment: use LU autotuning
+// data collected on Westmere to accelerate the search on Sandybridge.
+//
+//	go run ./examples/transfer-lu
+package main
+
+import (
+	"fmt"
+	"log"
+
+	autotune "repro"
+)
+
+func main() {
+	src, err := autotune.NewKernelProblem("LU", "Westmere", "gnu-4.4.7", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt, err := autotune.NewKernelProblem("LU", "Sandybridge", "gnu-4.4.7", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One call runs the whole methodology: collect T_a on the source,
+	// fit the random-forest surrogate, and race RS against the pruning
+	// (RSp), biasing (RSb), and model-free (RSpf, RSbf) variants on the
+	// target under common random numbers.
+	out, err := autotune.Transfer(src, tgt, autotune.TransferOptions{
+		NMax:     100,   // evaluation budget per algorithm
+		PoolSize: 10000, // configuration pool N
+		DeltaPct: 20,    // RSp cutoff quantile
+		Seed:     2016,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("source %s -> target %s\n", out.Source, out.Target)
+	fmt.Printf("cross-machine run-time correlation: pearson=%.2f spearman=%.2f\n\n",
+		out.Pearson, out.Spearman)
+
+	rsBest, _, _ := out.RS.Best()
+	fmt.Printf("%-5s best %.3f s (baseline)\n", "RS", rsBest.RunTime)
+	for _, name := range []string{"RSp", "RSb", "RSpf", "RSbf"} {
+		sp := out.Speedups[name]
+		fmt.Printf("%-5s performance speedup %.2fx, search-time speedup %.2fx\n",
+			name, sp.Performance, sp.SearchTime)
+	}
+
+	// The surrogate itself is reusable: predict before you measure.
+	sur, err := autotune.FitSurrogate(out.Ta, src.Space(), src.Name(),
+		autotune.ForestParams{}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := tgt.Space().Default()
+	fmt.Printf("\nsurrogate predicts %.3f s for the untransformed default\n",
+		sur.Predict(tgt.Space().Encode(c)))
+}

@@ -1,0 +1,534 @@
+// Package cache performs locality analysis of a (transformed) loop nest:
+// register-level load/store counts under unroll-and-jam blocking, register
+// pressure, per-cache-level traffic under a capacity-fit footprint model,
+// vectorizability of the innermost loop, and loop/code-size overheads.
+//
+// The model is the classical analytical treatment of tiled affine loop
+// nests: a cache level retains the working set of the deepest loop prefix
+// whose footprint fits, so the traffic into that level is the footprint at
+// that depth times the number of times the enclosing loops execute. This
+// is what makes cache tiling, register tiling, and unrolling shape the
+// search landscape the same way they do on real machines.
+package cache
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Level is one cache level's capacity description.
+type Level struct {
+	Name          string
+	CapacityBytes float64
+}
+
+// Params configures the analysis for a particular machine.
+type Params struct {
+	LineBytes float64 // cache line size, e.g. 64
+	Levels    []Level // ordered L1 outward; the last level misses to DRAM
+	// CapacityFraction discounts each level's capacity for conflict and
+	// sharing effects (typically 0.6–0.8).
+	CapacityFraction float64
+}
+
+// Result is the outcome of analyzing one nest.
+type Result struct {
+	// Work.
+	Flops     float64
+	BodyExecs float64
+
+	// Register level.
+	RegLoads    float64 // element loads from L1 into registers
+	RegStores   float64 // element stores from registers to L1
+	NaiveLoads  float64 // loads if no register reuse happened at all
+	RegPressure float64 // simultaneously live register elements
+	BlockIters  float64 // executions of the register-blocked body
+
+	// Traffic[i] is the bytes moved into Levels[i] from the level
+	// beneath it (the level beneath the last entry is DRAM).
+	Traffic []float64
+
+	// Instruction-stream effects.
+	LoopOverheadOps float64 // compare/branch/increment operations
+	UnrollProduct   float64 // static body replication (code growth)
+
+	// Vectorization.
+	VecFraction   float64 // fraction of references amenable to SIMD
+	InnermostTrip float64 // remaining trip count of the vectorized loop
+
+	// FootprintBytes is the whole-nest data footprint.
+	FootprintBytes float64
+}
+
+// distinctRef is a deduplicated array reference with read/write flags.
+type distinctRef struct {
+	ref    ir.Ref
+	read   bool
+	write  bool
+	copies int // how many body statements reference it
+}
+
+func refSignature(r ir.Ref) string {
+	var b strings.Builder
+	b.WriteString(r.Array)
+	for _, e := range r.Index {
+		b.WriteByte('[')
+		b.WriteString(e.String())
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+func distinctRefs(n *ir.Nest) []distinctRef {
+	order := make([]string, 0, 8)
+	m := map[string]*distinctRef{}
+	for _, s := range n.Body {
+		for _, r := range s.Refs {
+			sig := refSignature(r)
+			d, ok := m[sig]
+			if !ok {
+				d = &distinctRef{ref: r}
+				m[sig] = d
+				order = append(order, sig)
+			}
+			d.copies++
+			if r.Write {
+				d.write = true
+			} else {
+				d.read = true
+			}
+		}
+	}
+	out := make([]distinctRef, len(order))
+	for i, sig := range order {
+		out[i] = *m[sig]
+	}
+	return out
+}
+
+// varies reports whether the reference uses the loop variable in any index.
+func varies(r ir.Ref, loopVar string) bool {
+	for _, e := range r.Index {
+		if e.Uses(loopVar) {
+			return true
+		}
+	}
+	return false
+}
+
+// BoundDeps returns, for each loop variable, the transitive set of loop
+// variables its bounds depend on. A reference that uses a tile point loop
+// (i in [ii, ii+T)) therefore also varies when the tile loop ii advances.
+func BoundDeps(n *ir.Nest) map[string]map[string]bool {
+	loopVars := make(map[string]bool, len(n.Loops))
+	for _, l := range n.Loops {
+		loopVars[l.Var] = true
+	}
+	deps := make(map[string]map[string]bool, len(n.Loops))
+	// Loops are ordered outermost first, so a loop's bounds can only
+	// reference already-processed outer loops; one pass suffices for the
+	// transitive closure.
+	for _, l := range n.Loops {
+		set := map[string]bool{}
+		for _, e := range []ir.Expr{l.Lower, l.Upper} {
+			for v := range e.Coeff {
+				if !loopVars[v] {
+					continue
+				}
+				set[v] = true
+				for w := range deps[v] {
+					set[w] = true
+				}
+			}
+		}
+		deps[l.Var] = set
+	}
+	return deps
+}
+
+// VariesVia reports whether the reference varies when loop variable v
+// advances, either by using v directly or by using a variable whose
+// bounds (transitively) depend on v.
+func VariesVia(r ir.Ref, v string, deps map[string]map[string]bool) bool {
+	if varies(r, v) {
+		return true
+	}
+	for w, set := range deps {
+		if set[v] && varies(r, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// loopInfo precomputes per-loop quantities for the analysis.
+type loopInfo struct {
+	loop ir.Loop
+	trip float64
+	// block is the unroll-and-jam replication this loop contributes to the
+	// innermost body block: the unroll factor for register loops and for
+	// unrolled non-innermost loops (jamming), 1 otherwise.
+	block float64
+	// remaining is trip/block: the iterations of this loop that still
+	// execute around the block.
+	remaining float64
+}
+
+// Analyze computes the locality result for the nest under the parameters.
+func Analyze(n *ir.Nest, p Params) (Result, error) {
+	if err := n.Validate(); err != nil {
+		return Result{}, fmt.Errorf("cache: %w", err)
+	}
+	if p.LineBytes <= 0 {
+		return Result{}, fmt.Errorf("cache: line size must be positive")
+	}
+	capFrac := p.CapacityFraction
+	if capFrac <= 0 || capFrac > 1 {
+		capFrac = 0.75
+	}
+
+	res := Result{
+		BodyExecs: n.BodyExecutions(),
+		Flops:     n.TotalFlops(),
+	}
+	refs := distinctRefs(n)
+	if res.BodyExecs == 0 {
+		res.Traffic = make([]float64, len(p.Levels))
+		return res, nil
+	}
+
+	// Innermost non-register loop: its unroll reduces overhead but does
+	// not jam (the replicated bodies follow each other in the same
+	// iteration stream).
+	innermost := -1
+	for i := len(n.Loops) - 1; i >= 0; i-- {
+		if !n.Loops[i].Register {
+			innermost = i
+			break
+		}
+	}
+
+	infos := make([]loopInfo, len(n.Loops))
+	unrollProduct := 1.0
+	for i, l := range n.Loops {
+		trip := n.TripCount(i)
+		if trip < 1 {
+			trip = 1
+		}
+		block := 1.0
+		u := float64(l.Unroll)
+		if u < 1 {
+			u = 1
+		}
+		unrollProduct *= u
+		if l.Register || (u > 1 && i != innermost) {
+			block = math.Min(u, trip)
+		}
+		infos[i] = loopInfo{loop: l, trip: trip, block: block, remaining: math.Max(1, trip/block)}
+	}
+	res.UnrollProduct = unrollProduct
+
+	blockSize := 1.0
+	for _, li := range infos {
+		blockSize *= li.block
+	}
+	res.BlockIters = res.BodyExecs / blockSize
+
+	// Register-level loads/stores and pressure.
+	deps := BoundDeps(n)
+	pressure := 0.0
+	for _, d := range refs {
+		nr := 1.0 // elements of this ref live in the block
+		for _, li := range infos {
+			if li.block > 1 && VariesVia(d.ref, li.loop.Var, deps) {
+				nr *= li.block
+			}
+		}
+		// Temporal reuse across the innermost non-blocked loops in which
+		// the reference is invariant.
+		s := 1.0
+		for i := len(infos) - 1; i >= 0; i-- {
+			li := infos[i]
+			if li.remaining <= 1+1e-9 {
+				continue // fully inside the block
+			}
+			if VariesVia(d.ref, li.loop.Var, deps) {
+				break
+			}
+			s *= li.remaining
+		}
+		residencies := res.BlockIters / s
+		if d.read || d.write {
+			res.RegLoads += residencies * nr
+		}
+		if d.write {
+			res.RegStores += residencies * nr
+		}
+		res.NaiveLoads += res.BodyExecs * float64(d.copies)
+		pressure += nr
+	}
+	// Induction variables and statement temporaries occupy registers too;
+	// unrolled bodies replicate the temporaries.
+	pressure += float64(len(n.Loops)) + float64(len(n.Body))*blockSize*0.5
+	res.RegPressure = pressure
+
+	// Cache traffic per level via the capacity-fit footprint model.
+	depths := len(n.Loops) + 1
+	fpBytes := make([]float64, depths)    // footprint of loops[l:]
+	fpLines := make([]float64, depths)    // same footprint in cache lines
+	outerIters := make([]float64, depths) // executions of the loops outside depth l
+	for l := 0; l < depths; l++ {
+		b, lines := footprintAt(n, refs, l, p.LineBytes)
+		fpBytes[l] = b
+		fpLines[l] = lines
+		it := 1.0
+		for j := 0; j < l; j++ {
+			it *= infos[j].trip
+		}
+		outerIters[l] = it
+	}
+	res.FootprintBytes = fpBytes[0]
+
+	trafficAt := func(d int) float64 { return outerIters[d] * fpLines[d] * p.LineBytes }
+	res.Traffic = make([]float64, len(p.Levels))
+	for li, lev := range p.Levels {
+		eff := lev.CapacityBytes * capFrac
+		fit := depths - 1
+		for l := 0; l < depths; l++ {
+			if fpBytes[l] <= eff {
+				fit = l
+				break
+			}
+		}
+		if fit == 0 {
+			res.Traffic[li] = trafficAt(0)
+			continue
+		}
+		// The capacity lies between the footprints at depths fit-1 (too
+		// big) and fit (fits). Interpolate geometrically so that nearly
+		// fitting working sets get partial retention instead of a cliff,
+		// which matches the gradual miss-rate growth of real caches.
+		big, small := fpBytes[fit-1], fpBytes[fit]
+		t := 1.0
+		if big > small && eff > small {
+			t = (math.Log(big) - math.Log(eff)) / (math.Log(big) - math.Log(small))
+		}
+		tb, ts := trafficAt(fit-1), trafficAt(fit)
+		if tb <= 0 || ts <= 0 {
+			res.Traffic[li] = ts
+			continue
+		}
+		res.Traffic[li] = math.Exp((1-t)*math.Log(tb) + t*math.Log(ts))
+	}
+	// Monotonicity: an inner level cannot see less traffic than an outer
+	// one (everything that misses L2 also missed L1).
+	for i := len(p.Levels) - 1; i >= 1; i-- {
+		if res.Traffic[i] > res.Traffic[i-1] {
+			res.Traffic[i-1] = res.Traffic[i]
+		}
+	}
+
+	// Loop overhead: each loop header executes trip/unroll times per entry.
+	for i := range infos {
+		overheadPerHeader := 2.0
+		res.LoopOverheadOps += headerExecs(infos, i) * overheadPerHeader
+	}
+
+	// Vectorization analysis over the innermost remaining loop.
+	res.VecFraction, res.InnermostTrip = vectorizability(n, refs, infos)
+
+	return res, nil
+}
+
+// headerExecs counts executions of loop i's header: the product of the
+// enclosing loops' trips times this loop's trip divided by its unroll.
+func headerExecs(infos []loopInfo, i int) float64 {
+	execs := 1.0
+	for j := 0; j < i; j++ {
+		execs *= infos[j].trip
+	}
+	u := float64(infos[i].loop.Unroll)
+	if u < 1 {
+		u = 1
+	}
+	return execs * infos[i].trip / u
+}
+
+// interval is a closed numeric range used for footprint analysis.
+type interval struct{ lo, hi float64 }
+
+// evalInterval evaluates an affine expression over variable intervals.
+// Unbound symbols evaluate to [0, 0].
+func evalInterval(e ir.Expr, env map[string]interval) interval {
+	out := interval{e.Const, e.Const}
+	for v, c := range e.Coeff {
+		iv := env[v]
+		if c >= 0 {
+			out.lo += c * iv.lo
+			out.hi += c * iv.hi
+		} else {
+			out.lo += c * iv.hi
+			out.hi += c * iv.lo
+		}
+	}
+	return out
+}
+
+// varIntervals returns the value range of every loop variable when the
+// loops at depth >= l iterate freely and the outer loops are held at their
+// midpoints. Bounds are resolved outermost-first so tile point loops
+// (i in [ii, ii+T)) inherit the tile loop's full sweep.
+func varIntervals(n *ir.Nest, l int) map[string]interval {
+	env := make(map[string]interval, len(n.Sizes)+len(n.Loops))
+	for k, v := range n.Sizes {
+		env[k] = interval{v, v}
+	}
+	for j, loop := range n.Loops {
+		lo := evalInterval(loop.Lower, env)
+		hi := evalInterval(loop.Upper, env)
+		if hi.hi < lo.lo {
+			hi.hi = lo.lo
+		}
+		if j < l {
+			// Held fixed: collapse to the midpoint of the average range.
+			mid := (lo.lo + lo.hi + hi.lo + hi.hi) / 4
+			env[loop.Var] = interval{mid, mid}
+		} else {
+			upper := hi.hi - loop.Step
+			if upper < lo.lo {
+				upper = lo.lo
+			}
+			env[loop.Var] = interval{lo.lo, upper}
+		}
+	}
+	return env
+}
+
+// footprintAt returns the footprint in bytes and cache lines of the data
+// accessed by the loops at depth >= l (outer loop variables held fixed).
+func footprintAt(n *ir.Nest, refs []distinctRef, l int, lineBytes float64) (bytes, lines float64) {
+	inner := n.Loops[l:]
+	env := varIntervals(n, l)
+	// Per-array accumulation so multiple references into the same array
+	// (LU accesses A three ways) are capped at the array's size.
+	type arrAcc struct{ bytes, lines, capBytes float64 }
+	accs := map[string]*arrAcc{}
+	order := []string{}
+
+	for _, d := range refs {
+		arr := n.Arrays[d.ref.Array]
+		elem := float64(arr.ElemSize)
+
+		elements := 1.0
+		lastTouched := 1.0
+		dense := false
+		for di, idx := range d.ref.Index {
+			iv := evalInterval(idx, env)
+			touched := iv.hi - iv.lo + 1
+			dimSize := arr.Dims[di].Eval(n.Sizes)
+			if dimSize > 0 && touched > dimSize {
+				touched = dimSize
+			}
+			if touched < 1 {
+				touched = 1
+			}
+			elements *= touched
+			if di == len(d.ref.Index)-1 {
+				lastTouched = touched
+				for _, loop := range inner {
+					if math.Abs(idx.CoeffOf(loop.Var)) == 1 {
+						dense = true
+					}
+				}
+			}
+		}
+
+		b := elements * elem
+		var ln float64
+		if dense && lastTouched > 1 {
+			// Rows of lastTouched contiguous elements.
+			rows := elements / lastTouched
+			ln = rows * math.Ceil(lastTouched*elem/lineBytes)
+		} else {
+			// Strided or fixed last dimension: one line per element,
+			// bounded below by the dense packing.
+			ln = math.Max(elements, b/lineBytes)
+		}
+		if d.write {
+			// Write-allocate plus write-back: the written footprint moves
+			// twice across each boundary it crosses.
+			ln *= 2
+		}
+
+		acc, ok := accs[d.ref.Array]
+		if !ok {
+			capElems := 1.0
+			for _, dim := range arr.Dims {
+				capElems *= math.Max(1, dim.Eval(n.Sizes))
+			}
+			acc = &arrAcc{capBytes: capElems * elem}
+			accs[d.ref.Array] = acc
+			order = append(order, d.ref.Array)
+		}
+		acc.bytes += b
+		acc.lines += ln
+	}
+
+	for _, name := range order {
+		a := accs[name]
+		b := a.bytes
+		ln := a.lines
+		if b > a.capBytes {
+			// Overlapping references cannot exceed the array itself.
+			scale := a.capBytes / b
+			b = a.capBytes
+			ln *= scale
+		}
+		bytes += b
+		lines += ln
+	}
+	return bytes, lines
+}
+
+// vectorizability classifies references against the innermost loop that
+// still iterates (remaining trip > 1): a reference supports SIMD if it is
+// invariant in that loop or accesses the last dimension with stride one.
+func vectorizability(n *ir.Nest, refs []distinctRef, infos []loopInfo) (frac, trip float64) {
+	vi := -1
+	for i := len(infos) - 1; i >= 0; i-- {
+		if infos[i].remaining > 1+1e-9 {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 || len(refs) == 0 {
+		return 0, 1
+	}
+	v := infos[vi].loop.Var
+	good := 0.0
+	for _, d := range refs {
+		if !varies(d.ref, v) {
+			good++
+			continue
+		}
+		last := d.ref.Index[len(d.ref.Index)-1]
+		if math.Abs(last.CoeffOf(v)) == 1 && onlyLastDimUses(d.ref, v) {
+			good++
+		}
+	}
+	return good / float64(len(refs)), infos[vi].remaining
+}
+
+// onlyLastDimUses reports whether loop variable v appears only in the last
+// index dimension of the reference (a row access rather than a diagonal).
+func onlyLastDimUses(r ir.Ref, v string) bool {
+	for i, e := range r.Index {
+		if i != len(r.Index)-1 && e.Uses(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+// Package cachesim is a trace-driven, set-associative, write-back LRU
+// cache hierarchy simulator plus an interpreter that executes a loop
+// nest from the IR and feeds it the actual address stream.
+//
+// Its role is validation: the analytical capacity-fit model in
+// internal/cache makes the search landscape cheap to evaluate at the
+// paper's problem sizes; this simulator checks, at small problem sizes,
+// that the analytical model ranks code variants the same way real cache
+// behavior does (see the cross-validation tests).
+package cachesim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Cache is one set-associative, write-back, write-allocate LRU cache.
+type Cache struct {
+	lineBytes uint64
+	sets      uint64
+	assoc     int
+	// lines[set] is ordered most-recently-used first.
+	lines [][]line
+
+	hits, misses, writebacks uint64
+}
+
+type line struct {
+	tag   uint64
+	dirty bool
+}
+
+// NewCache builds a cache. capacity and lineBytes must be powers of two
+// with capacity >= assoc*lineBytes.
+func NewCache(capacityBytes, lineBytes uint64, assoc int) (*Cache, error) {
+	if capacityBytes == 0 || lineBytes == 0 || assoc <= 0 {
+		return nil, fmt.Errorf("cachesim: zero cache geometry")
+	}
+	if capacityBytes%(lineBytes*uint64(assoc)) != 0 {
+		return nil, fmt.Errorf("cachesim: capacity %d not divisible by assoc*line", capacityBytes)
+	}
+	sets := capacityBytes / (lineBytes * uint64(assoc))
+	c := &Cache{lineBytes: lineBytes, sets: sets, assoc: assoc, lines: make([][]line, sets)}
+	return c, nil
+}
+
+// Access touches addr; returns whether it hit and whether a dirty line
+// was evicted (write-back traffic to the level below).
+func (c *Cache) Access(addr uint64, write bool) (hit, writeback bool) {
+	lineAddr := addr / c.lineBytes
+	set := lineAddr % c.sets
+	tag := lineAddr / c.sets
+	ways := c.lines[set]
+	for i, l := range ways {
+		if l.tag == tag {
+			// Move to MRU position.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = l
+			if write {
+				ways[0].dirty = true
+			}
+			c.hits++
+			return true, false
+		}
+	}
+	c.misses++
+	nl := line{tag: tag, dirty: write}
+	if len(ways) < c.assoc {
+		c.lines[set] = append([]line{nl}, ways...)
+		return false, false
+	}
+	evicted := ways[len(ways)-1]
+	copy(ways[1:], ways[:len(ways)-1])
+	ways[0] = nl
+	if evicted.dirty {
+		c.writebacks++
+		return false, true
+	}
+	return false, false
+}
+
+// Stats returns hit/miss/writeback counts.
+func (c *Cache) Stats() (hits, misses, writebacks uint64) {
+	return c.hits, c.misses, c.writebacks
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = nil
+	}
+	c.hits, c.misses, c.writebacks = 0, 0, 0
+}
+
+// Hierarchy chains caches; a miss at level i is looked up at level i+1.
+// Misses at the last level count as memory accesses.
+type Hierarchy struct {
+	Levels []*Cache
+	// MemAccesses counts lines fetched from memory (last-level misses
+	// plus write-backs arriving at memory).
+	MemAccesses uint64
+}
+
+// NewHierarchy builds a hierarchy from inner to outer.
+func NewHierarchy(levels ...*Cache) *Hierarchy { return &Hierarchy{Levels: levels} }
+
+// Access walks the hierarchy with addr.
+func (h *Hierarchy) Access(addr uint64, write bool) {
+	for i, c := range h.Levels {
+		hit, wb := c.Access(addr, write)
+		if wb {
+			// The evicted dirty line is written to the next level; model
+			// it as a memory access when this is the last level.
+			if i == len(h.Levels)-1 {
+				h.MemAccesses++
+			}
+		}
+		if hit {
+			return
+		}
+		// Miss: the fill comes from the next level; the lookup continues
+		// downward as a read.
+		write = false
+		if i == len(h.Levels)-1 {
+			h.MemAccesses++
+		}
+	}
+}
+
+// Misses returns per-level miss counts.
+func (h *Hierarchy) Misses() []uint64 {
+	out := make([]uint64, len(h.Levels))
+	for i, c := range h.Levels {
+		_, m, _ := c.Stats()
+		out[i] = m
+	}
+	return out
+}
+
+// Reset clears all levels and counters.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.Levels {
+		c.Reset()
+	}
+	h.MemAccesses = 0
+}
+
+// ---------------------------------------------------------------------------
+// IR interpreter
+
+// TraceResult summarizes one interpreted execution.
+type TraceResult struct {
+	Accesses  uint64   // total array accesses replayed
+	Misses    []uint64 // per-level cache misses
+	MemLines  uint64   // lines transferred from/to memory
+	Truncated bool     // stopped at the access cap
+}
+
+// Trace executes the nest (loops, bounds, steps — unroll metadata does
+// not change the address stream) and feeds every array reference through
+// the hierarchy in program order. maxAccesses caps the work; 0 means one
+// billion.
+func Trace(n *ir.Nest, h *Hierarchy, maxAccesses uint64) (TraceResult, error) {
+	if err := n.Validate(); err != nil {
+		return TraceResult{}, fmt.Errorf("cachesim: %w", err)
+	}
+	if maxAccesses == 0 {
+		maxAccesses = 1e9
+	}
+
+	// Lay the arrays out consecutively, 64-byte aligned, row-major.
+	type layout struct {
+		base uint64
+		dims []uint64
+		elem uint64
+	}
+	layouts := map[string]layout{}
+	var names []string
+	for a := range n.Arrays {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	base := uint64(0)
+	for _, name := range names {
+		arr := n.Arrays[name]
+		dims := make([]uint64, len(arr.Dims))
+		total := uint64(1)
+		for i, d := range arr.Dims {
+			v := d.Eval(n.Sizes)
+			if v < 1 {
+				v = 1
+			}
+			dims[i] = uint64(v)
+			total *= dims[i]
+		}
+		layouts[name] = layout{base: base, dims: dims, elem: uint64(arr.ElemSize)}
+		bytes := total * uint64(arr.ElemSize)
+		base += (bytes + 63) / 64 * 64
+	}
+
+	env := map[string]float64{}
+	for k, v := range n.Sizes {
+		env[k] = v
+	}
+
+	res := TraceResult{}
+	var runLoop func(depth int) bool
+	runLoop = func(depth int) bool {
+		if depth == len(n.Loops) {
+			for _, s := range n.Body {
+				for _, r := range s.Refs {
+					if res.Accesses >= maxAccesses {
+						res.Truncated = true
+						return false
+					}
+					lay := layouts[r.Array]
+					off := uint64(0)
+					for d, idx := range r.Index {
+						v := int64(idx.Eval(env))
+						if v < 0 {
+							v = 0
+						}
+						if uint64(v) >= lay.dims[d] {
+							v = int64(lay.dims[d] - 1)
+						}
+						off = off*lay.dims[d] + uint64(v)
+					}
+					h.Access(lay.base+off*lay.elem, r.Write)
+					res.Accesses++
+				}
+			}
+			return true
+		}
+		l := n.Loops[depth]
+		lo := int64(l.Lower.Eval(env))
+		hi := int64(l.Upper.Eval(env))
+		step := int64(l.Step)
+		if step < 1 {
+			step = 1
+		}
+		for v := lo; v < hi; v += step {
+			env[l.Var] = float64(v)
+			if !runLoop(depth + 1) {
+				return false
+			}
+		}
+		delete(env, l.Var)
+		return true
+	}
+	runLoop(0)
+
+	res.Misses = h.Misses()
+	res.MemLines = h.MemAccesses
+	return res, nil
+}

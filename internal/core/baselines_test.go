@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+// linearDataset builds samples from a noiseless linear function so the
+// linear model should recover it exactly.
+func linearDataset(spc *space.Space, n int, seed uint64) search.Dataset {
+	r := rng.New(seed)
+	ds := make(search.Dataset, n)
+	for i := 0; i < n; i++ {
+		c := spc.Random(r)
+		f := spc.Encode(c)
+		y := 3 + 2*f[0] - 0.5*f[1]
+		ds[i] = search.Sample{Config: c, RunTime: y}
+	}
+	return ds
+}
+
+func ablSpace() *space.Space {
+	return space.New(
+		space.NewIntRange("a", 0, 9),
+		space.NewIntRange("b", 0, 9),
+		space.NewPowerOfTwo("t", 0, 5),
+	)
+}
+
+func TestLinearRecoversLinearFunction(t *testing.T) {
+	spc := ablSpace()
+	ds := linearDataset(spc, 60, 1)
+	m, err := FitLinear(ds, spc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 50; i++ {
+		c := spc.Random(r)
+		f := spc.Encode(c)
+		want := 3 + 2*f[0] - 0.5*f[1]
+		if math.Abs(m.Predict(f)-want) > 1e-6 {
+			t.Fatalf("linear model off: %v vs %v", m.Predict(f), want)
+		}
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	if _, err := FitLinear(nil, ablSpace()); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestKNNExactOnTrainingPoints(t *testing.T) {
+	spc := ablSpace()
+	ds := linearDataset(spc, 40, 3)
+	m, err := FitKNN(ds, spc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ds {
+		got := m.Predict(spc.Encode(s.Config))
+		if math.Abs(got-s.RunTime) > 1e-9 {
+			t.Fatalf("1-NN should reproduce training point: %v vs %v", got, s.RunTime)
+		}
+	}
+}
+
+func TestKNNAverageK(t *testing.T) {
+	spc := space.New(space.NewIntRange("x", 0, 100))
+	ds := search.Dataset{
+		{Config: space.Config{0}, RunTime: 10},
+		{Config: space.Config{1}, RunTime: 20},
+		{Config: space.Config{100}, RunTime: 1000},
+	}
+	m, err := FitKNN(ds, spc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near x=0 the two nearest are 10 and 20.
+	if got := m.Predict([]float64{0}); got != 15 {
+		t.Fatalf("2-NN average = %v, want 15", got)
+	}
+}
+
+func TestKNNClampsK(t *testing.T) {
+	spc := ablSpace()
+	ds := linearDataset(spc, 3, 4)
+	m, err := FitKNN(ds, spc, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 3 {
+		t.Fatalf("k not clamped: %d", m.K)
+	}
+}
+
+func TestSingleTreeFits(t *testing.T) {
+	spc := ablSpace()
+	ds := linearDataset(spc, 80, 5)
+	tree, err := FitSingleTree(ds, spc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, y := ds.Encode(spc)
+	pred := make([]float64, len(y))
+	for i := range X {
+		pred[i] = tree.Predict(X[i])
+	}
+	rho, err := stats.Spearman(pred, y)
+	if err != nil || rho < 0.9 {
+		t.Fatalf("single tree rank correlation %.3f too weak (err %v)", rho, err)
+	}
+}
+
+func TestFitFamilyAll(t *testing.T) {
+	spc := ablSpace()
+	ds := linearDataset(spc, 60, 6)
+	for _, fam := range []SurrogateFamily{FamilyForest, FamilyTree, FamilyKNN, FamilyLinear} {
+		m, err := FitFamily(fam, ds, spc, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		p := m.Predict(spc.Encode(spc.Default()))
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("%s predicted %v", fam, p)
+		}
+	}
+	if _, err := FitFamily("gp", ds, spc, 9); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestFamiliesRankOnKernelData(t *testing.T) {
+	// On real kernel data the forest should rank at least as well as the
+	// linear baseline (the nonlinearity argument for recursive
+	// partitioning in the paper's Section III-A).
+	lu := problemForFamilies(t)
+	_, ta := Collect(lu, 80, rng.New(31))
+	spc := lu.Space()
+	X, _ := ta.Encode(spc)
+
+	// Held-out sample.
+	_, test := Collect(lu, 60, rng.New(32))
+	truth := make([]float64, len(test))
+	testX := make([][]float64, len(test))
+	for i, s := range test {
+		truth[i] = s.RunTime
+		testX[i] = spc.Encode(s.Config)
+	}
+	_ = X
+
+	score := func(fam SurrogateFamily) float64 {
+		m, err := FitFamily(fam, ta, spc, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := make([]float64, len(testX))
+		for i := range testX {
+			pred[i] = m.Predict(testX[i])
+		}
+		rho, _ := stats.Spearman(pred, truth)
+		return rho
+	}
+	rf := score(FamilyForest)
+	lin := score(FamilyLinear)
+	if rf < 0.5 {
+		t.Fatalf("forest rank correlation only %.3f on kernel data", rf)
+	}
+	if rf < lin-0.1 {
+		t.Fatalf("forest (%.3f) clearly worse than linear (%.3f)", rf, lin)
+	}
+}
+
+func problemForFamilies(t *testing.T) search.Problem {
+	t.Helper()
+	return problem(t, "LU", mustMachine(t, "Sandybridge"))
+}

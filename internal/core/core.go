@@ -1,0 +1,224 @@
+// Package core implements the paper's central contribution: exploiting
+// performance portability by carrying autotuning knowledge across
+// machines. Performance data T_a collected on a source machine trains a
+// random-forest surrogate M_a, which then guides random search on a
+// different target machine through the pruning (RSp) and biasing (RSb)
+// strategies; model-free controls (RSpf, RSbf) replay T_a directly.
+//
+// Run executes the complete experiment for one (source, target, problem)
+// triple under the paper's common-random-numbers methodology (Section
+// IV-D): RS on the target evaluates configurations in exactly the order
+// RS evaluated them on the source, and RSp walks the same candidate
+// stream, so differences between algorithms are attributable to the
+// strategies rather than sampling luck.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/forest"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+// Surrogate is a performance model fitted to one machine's data and used
+// to guide search on another, together with the space encoding it was
+// trained under.
+type Surrogate struct {
+	Forest *forest.Forest
+	Space  *space.Space
+	// Source names the machine/problem the training data came from.
+	Source string
+}
+
+// Predict implements search.Model.
+func (s *Surrogate) Predict(x []float64) float64 { return s.Forest.Predict(x) }
+
+// FitSurrogate trains the random-forest surrogate M_a on T_a.
+func FitSurrogate(ta search.Dataset, spc *space.Space, source string, p forest.Params, r *rng.RNG) (*Surrogate, error) {
+	if len(ta) == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	X, y := ta.Encode(spc)
+	f, err := forest.Fit(X, y, p, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Surrogate{Forest: f, Space: spc, Source: source}, nil
+}
+
+// Collect runs plain RS on the source problem and returns both the full
+// search result and the extracted training set T_a.
+func Collect(src search.Problem, nmax int, r *rng.RNG) (*search.Result, search.Dataset) {
+	res := search.RS(src, nmax, r)
+	return res, search.DatasetFrom(res)
+}
+
+// Speedups are the paper's two comparison metrics for a variant against
+// plain RS on the same target (Section IV-D).
+type Speedups struct {
+	// Performance is best-RS-run-time / best-variant-run-time.
+	Performance float64
+	// SearchTime is (clock at which RS found its best) / (clock at which
+	// the variant first matched or beat RS's best); 0 when the variant
+	// never got there, as in the paper's 0.00 table entries.
+	SearchTime float64
+	// Success follows the paper's criterion: performance speedup at least
+	// 1.0 and search-time speedup strictly greater than 1.0.
+	Success bool
+}
+
+// ComputeSpeedups compares a variant's search result to the RS baseline.
+func ComputeSpeedups(rs, variant *search.Result) Speedups {
+	rsBest, rsIdx, ok := rs.Best()
+	if !ok {
+		return Speedups{}
+	}
+	vBest, _, ok := variant.Best()
+	if !ok {
+		return Speedups{}
+	}
+	s := Speedups{}
+	if vBest.RunTime > 0 {
+		s.Performance = rsBest.RunTime / vBest.RunTime
+	}
+	rsTime := rs.Records[rsIdx].Elapsed
+	if t, reached := variant.TimeToReach(rsBest.RunTime); reached && t > 0 {
+		s.SearchTime = rsTime / t
+	}
+	s.Success = s.Performance >= 1.0 && s.SearchTime > 1.0
+	return s
+}
+
+// Options configures a transfer experiment.
+type Options struct {
+	// NMax is the per-algorithm evaluation budget (paper: 100).
+	NMax int
+	// PoolSize is the configuration pool size N (paper: 10,000).
+	PoolSize int
+	// DeltaPct is the pruning cutoff quantile (paper: 20).
+	DeltaPct float64
+	// Forest configures the surrogate (zero value = package defaults).
+	Forest forest.Params
+	// Seed drives every random stream of the experiment.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NMax <= 0 {
+		o.NMax = 100
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 10000
+	}
+	if o.DeltaPct <= 0 || o.DeltaPct >= 100 {
+		o.DeltaPct = 20
+	}
+	return o
+}
+
+// Outcome is the full result of one transfer experiment.
+type Outcome struct {
+	Source, Target string
+
+	// SourceRS is the RS run on the source machine that produced Ta.
+	SourceRS *search.Result
+	Ta       search.Dataset
+
+	// Target-machine runs under common random numbers.
+	RS   *search.Result
+	RSp  *search.Result
+	RSb  *search.Result
+	RSpf *search.Result
+	RSbf *search.Result
+
+	// Speedups of each variant over RS, keyed by algorithm name.
+	Speedups map[string]Speedups
+
+	// Paired run times of Ta's configurations on source and target (the
+	// correlation panels of Figures 3–5) and their correlations.
+	SourceRuns, TargetRuns []float64
+	Pearson, Spearman      float64
+
+	// Surrogate quality on the target: rank correlation between M_a's
+	// predictions and the target's measured times over Ta's configs.
+	SurrogateSpearman float64
+}
+
+// Run executes the transfer experiment: collect Ta on the source, fit
+// M_a, then run RS and all four variants on the target under common
+// random numbers, and compute the paper's metrics.
+func Run(src, tgt search.Problem, opt Options) (*Outcome, error) {
+	opt = opt.withDefaults()
+	if src.Space().NumParams() != tgt.Space().NumParams() {
+		return nil, fmt.Errorf("core: source and target must share the configuration space (paper assumption D(α) fixed)")
+	}
+
+	out := &Outcome{Source: src.Name(), Target: tgt.Name(), Speedups: map[string]Speedups{}}
+
+	// Phase 1: collect Ta on the source machine with the shared stream.
+	streamSeed := rng.NewNamed(opt.Seed, "crn-stream")
+	out.SourceRS, out.Ta = Collect(src, opt.NMax, streamSeed)
+
+	// Phase 2: fit the surrogate.
+	sur, err := FitSurrogate(out.Ta, src.Space(), src.Name(), opt.Forest, rng.NewNamed(opt.Seed, "forest"))
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: target runs.
+	// RS on the target evaluates the same configurations in the same
+	// order as RS on the source (method of common random numbers).
+	srcSeq := make([]space.Config, len(out.SourceRS.Records))
+	for i, rec := range out.SourceRS.Records {
+		srcSeq[i] = rec.Config
+	}
+	out.RS = search.Replay(tgt, srcSeq, "RS")
+
+	// RSp walks the same candidate stream as RS (fresh identically-seeded
+	// stream) and prunes with the surrogate.
+	out.RSp = search.RSp(tgt, sur,
+		search.RSpOptions{NMax: opt.NMax, PoolSize: opt.PoolSize, DeltaPct: opt.DeltaPct},
+		rng.NewNamed(opt.Seed, "crn-stream"), rng.NewNamed(opt.Seed, "pool"))
+
+	// RSb greedily evaluates the pool in ascending predicted order.
+	out.RSb = search.RSb(tgt, sur,
+		search.RSbOptions{NMax: opt.NMax, PoolSize: opt.PoolSize},
+		rng.NewNamed(opt.Seed, "pool"))
+
+	// Model-free controls restricted to Ta.
+	out.RSpf = search.RSpf(tgt, out.Ta, opt.DeltaPct)
+	out.RSbf = search.RSbf(tgt, out.Ta)
+
+	for name, res := range map[string]*search.Result{
+		"RSp": out.RSp, "RSb": out.RSb, "RSpf": out.RSpf, "RSbf": out.RSbf,
+	} {
+		out.Speedups[name] = ComputeSpeedups(out.RS, res)
+	}
+
+	// Correlation panel: Ta's configs were re-evaluated on the target by
+	// the RS replay, giving exact pairs.
+	out.SourceRuns = make([]float64, len(out.Ta))
+	out.TargetRuns = make([]float64, len(out.RS.Records))
+	for i := range out.Ta {
+		out.SourceRuns[i] = out.Ta[i].RunTime
+		out.TargetRuns[i] = out.RS.Records[i].RunTime
+	}
+	if p, err := stats.Pearson(out.SourceRuns, out.TargetRuns); err == nil {
+		out.Pearson = p
+	}
+	if s, err := stats.Spearman(out.SourceRuns, out.TargetRuns); err == nil {
+		out.Spearman = s
+	}
+	preds := make([]float64, len(out.Ta))
+	for i := range out.Ta {
+		preds[i] = sur.Predict(tgt.Space().Encode(out.Ta[i].Config))
+	}
+	if s, err := stats.Spearman(preds, out.TargetRuns); err == nil {
+		out.SurrogateSpearman = s
+	}
+
+	return out, nil
+}

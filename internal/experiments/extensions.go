@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tabulate"
+)
+
+// The ext-* experiments implement the paper's future-work directions
+// (Section VII): generalizing the transfer across input sizes, and
+// combining the surrogate with more sophisticated search algorithms.
+
+func init() {
+	registry["ext-inputsize"] = registryEntry{
+		"Extension: transfer across input sizes (paper future work)", runExtInputSize}
+	registry["ext-algos"] = registryEntry{
+		"Extension: surrogate transfer with sophisticated search algorithms", runExtAlgos}
+	registry["ext-surrogates"] = registryEntry{
+		"Extension: surrogate-family ablation (forest vs tree vs kNN vs linear)", runExtSurrogates}
+	registry["ext-replicates"] = registryEntry{
+		"Extension: replicated transfer with significance testing", runExtReplicates}
+}
+
+// runExtInputSize trains the surrogate on MM at one input size on the
+// source machine and deploys it at different input sizes on the target:
+// "we will also investigate whether the proposed approach can be
+// generalized for different input sizes".
+func runExtInputSize(cfg Config) (*Report, error) {
+	srcKernel := kernels.MM(2000)
+	srcProb := kernels.NewProblem(srcKernel,
+		sim.Target{Machine: machine.Westmere, Compiler: machine.GNU, Threads: 1})
+
+	tb := tabulate.NewTable("MM: Westmere @2000 -> Sandybridge @N",
+		"Target N", "Pearson", "Spearman", "RSb Prf", "RSb Srh")
+	values := map[string]float64{}
+	var b strings.Builder
+
+	for _, n := range []int{1000, 1500, 2000, 3000} {
+		tgtKernel := kernels.MM(n)
+		tgtProb := kernels.NewProblem(tgtKernel,
+			sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
+		opts := transferOpts(cfg)
+		opts.Seed = cfg.Seed ^ rng.Hash64(fmt.Sprintf("ext-size-%d", n))
+		out, err := core.Run(srcProb, tgtProb, opts)
+		if err != nil {
+			return nil, err
+		}
+		sp := out.Speedups["RSb"]
+		tb.AddRow(fmt.Sprintf("%d", n), tabulate.F(out.Pearson), tabulate.F(out.Spearman),
+			tabulate.F(sp.Performance), tabulate.F(sp.SearchTime))
+		values[fmt.Sprintf("N%d/spearman", n)] = out.Spearman
+		values[fmt.Sprintf("N%d/RSb/perf", n)] = sp.Performance
+		values[fmt.Sprintf("N%d/RSb/search", n)] = sp.SearchTime
+	}
+	b.WriteString(tb.String())
+	b.WriteString("\nThe source data always comes from the 2000x2000 problem; the\n" +
+		"surrogate transfers across both the machine and the input size as\n" +
+		"long as the working-set structure (which tiles fit which cache)\n" +
+		"stays comparable.\n")
+	return &Report{Text: b.String(), Tables: []*tabulate.Table{tb}, Values: values}, nil
+}
+
+// runExtAlgos compares plain heuristics against their surrogate-assisted
+// counterparts on the target machine: "we will test the proposed
+// approach with other sophisticated search algorithms in order to
+// achieve performance improvements."
+func runExtAlgos(cfg Config) (*Report, error) {
+	lu, err := kernels.ByName("LU")
+	if err != nil {
+		return nil, err
+	}
+	src := kernels.NewProblem(lu, sim.Target{Machine: machine.Westmere, Compiler: machine.GNU, Threads: 1})
+	tgt := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
+
+	seed := cfg.Seed ^ rng.Hash64("ext-algos")
+	_, ta := core.Collect(src, cfg.NMax, rng.NewNamed(seed, "collect"))
+	sur, err := core.FitSurrogate(ta, lu.Space(), src.Name(), transferOpts(cfg).Forest,
+		rng.NewNamed(seed, "forest"))
+	if err != nil {
+		return nil, err
+	}
+
+	// The surrogate's predicted-best pool configuration warm-starts the
+	// sophisticated searches.
+	pool := lu.Space().SamplePool(cfg.PoolSize, rng.NewNamed(seed, "pool"))
+	warm := pool[0]
+	best := sur.Predict(lu.Space().Encode(warm))
+	for _, c := range pool[1:] {
+		if p := sur.Predict(lu.Space().Encode(c)); p < best {
+			best, warm = p, c
+		}
+	}
+
+	runs := []struct {
+		name string
+		res  *search.Result
+	}{}
+	add := func(name string, res *search.Result) {
+		runs = append(runs, struct {
+			name string
+			res  *search.Result
+		}{name, res})
+	}
+
+	add("RS", search.RS(tgt, cfg.NMax, rng.NewNamed(seed, "rs")))
+	add("RSb", search.RSb(tgt, sur, search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize},
+		rng.NewNamed(seed, "pool")))
+	add("SA", search.Drive(tgt, search.NewAnneal(lu.Space(), rng.NewNamed(seed, "sa"), 0.95), cfg.NMax))
+	warmSA := search.NewAnneal(lu.Space(), rng.NewNamed(seed, "sa+model"), 0.95)
+	warmSA.SetStart(warm)
+	add("SA+model", search.Drive(tgt, warmSA, cfg.NMax))
+	add("GA", search.Drive(tgt, search.NewGenetic(lu.Space(), rng.NewNamed(seed, "ga"), 16, 0.15), cfg.NMax))
+	add("PS", search.Drive(tgt, search.NewPattern(lu.Space(), rng.NewNamed(seed, "ps"), 4), cfg.NMax))
+	// Active learning: RSb that refits the surrogate on source+target
+	// observations every 10 evaluations.
+	refit := func(d search.Dataset) (search.Model, error) {
+		return core.FitSurrogate(d, lu.Space(), "refit", transferOpts(cfg).Forest,
+			rng.NewNamed(seed, "refit"))
+	}
+	rsba, err := search.RSbA(tgt, sur, ta,
+		search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize}, 10, refit,
+		rng.NewNamed(seed, "pool"))
+	if err != nil {
+		return nil, err
+	}
+	add("RSb+refit", rsba)
+
+	tb := tabulate.NewTable("LU on Sandybridge (Westmere surrogate), equal budgets",
+		"Algorithm", "Best run [s]", "Search time [s]", "Found at eval")
+	values := map[string]float64{}
+	for _, r := range runs {
+		bst, idx, ok := r.res.Best()
+		if !ok {
+			continue
+		}
+		tb.AddRow(r.name, fmt.Sprintf("%.4f", bst.RunTime),
+			fmt.Sprintf("%.1f", r.res.Records[idx].Elapsed), fmt.Sprintf("%d", idx+1))
+		values[r.name+"/best"] = bst.RunTime
+		values[r.name+"/time"] = r.res.Records[idx].Elapsed
+	}
+	text := tb.String() + "\nSA+model warm-starts simulated annealing at the surrogate's\n" +
+		"predicted-best configuration, and RSb+refit refits the surrogate on\n" +
+		"source+target data during the search — transfer composed with\n" +
+		"sophisticated and active-learning search, the paper's proposed\n" +
+		"future work.\n"
+	return &Report{Text: text, Tables: []*tabulate.Table{tb}, Values: values}, nil
+}
+
+// runExtSurrogates ablates the supervised-learning family behind M_a.
+func runExtSurrogates(cfg Config) (*Report, error) {
+	lu, err := kernels.ByName("LU")
+	if err != nil {
+		return nil, err
+	}
+	src := kernels.NewProblem(lu, sim.Target{Machine: machine.Westmere, Compiler: machine.GNU, Threads: 1})
+	tgt := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
+
+	seed := cfg.Seed ^ rng.Hash64("ext-surrogates")
+	_, ta := core.Collect(src, cfg.NMax, rng.NewNamed(seed, "collect"))
+	rs := search.RS(tgt, cfg.NMax, rng.NewNamed(seed, "collect"))
+
+	tb := tabulate.NewTable("Surrogate families guiding RSb on LU Westmere -> Sandybridge",
+		"Family", "RSb best [s]", "Prf.Imp", "Srh.Imp")
+	values := map[string]float64{}
+	for _, fam := range []core.SurrogateFamily{
+		core.FamilyForest, core.FamilyTree, core.FamilyKNN, core.FamilyLinear,
+	} {
+		m, err := core.FitFamily(fam, ta, lu.Space(), seed)
+		if err != nil {
+			return nil, err
+		}
+		res := search.RSb(tgt, m, search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize},
+			rng.NewNamed(seed, "pool"))
+		sp := core.ComputeSpeedups(rs, res)
+		bst, _, _ := res.Best()
+		tb.AddRow(string(fam), fmt.Sprintf("%.4f", bst.RunTime),
+			tabulate.F(sp.Performance), tabulate.F(sp.SearchTime))
+		values[string(fam)+"/perf"] = sp.Performance
+		values[string(fam)+"/search"] = sp.SearchTime
+	}
+	return &Report{Text: tb.String(), Tables: []*tabulate.Table{tb}, Values: values}, nil
+}
+
+// runExtReplicates re-runs the headline LU Westmere -> Sandybridge
+// transfer across independent seeds and reports medians with a Wilcoxon
+// signed-rank test of the variants' best-found run times against RS —
+// the statistical treatment the paper's single-run protocol leaves out.
+func runExtReplicates(cfg Config) (*Report, error) {
+	lu, err := kernels.ByName("LU")
+	if err != nil {
+		return nil, err
+	}
+	src := kernels.NewProblem(lu, sim.Target{Machine: machine.Westmere, Compiler: machine.GNU, Threads: 1})
+	tgt := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
+
+	const replicates = 12
+	variants := []string{"RSp", "RSb", "RSpf", "RSbf"}
+	rsBest := make([]float64, 0, replicates)
+	bests := map[string][]float64{}
+	perf := map[string][]float64{}
+	srh := map[string][]float64{}
+
+	for rep := 0; rep < replicates; rep++ {
+		opts := transferOpts(cfg)
+		opts.Seed = cfg.Seed ^ rng.Hash64(fmt.Sprintf("replicate-%d", rep))
+		out, err := core.Run(src, tgt, opts)
+		if err != nil {
+			return nil, err
+		}
+		rb, _, _ := out.RS.Best()
+		rsBest = append(rsBest, rb.RunTime)
+		for _, v := range variants {
+			res := map[string]*search.Result{
+				"RSp": out.RSp, "RSb": out.RSb, "RSpf": out.RSpf, "RSbf": out.RSbf,
+			}[v]
+			b, _, _ := res.Best()
+			bests[v] = append(bests[v], b.RunTime)
+			perf[v] = append(perf[v], out.Speedups[v].Performance)
+			srh[v] = append(srh[v], out.Speedups[v].SearchTime)
+		}
+	}
+
+	tb := tabulate.NewTable(
+		fmt.Sprintf("LU Westmere -> Sandybridge, %d replicates", replicates),
+		"Variant", "Median Prf", "Median Srh", "Wilcoxon p (best vs RS)")
+	values := map[string]float64{}
+	for _, v := range variants {
+		pStr := "-"
+		if w, err := stats.Wilcoxon(rsBest, bests[v]); err == nil {
+			pStr = fmt.Sprintf("%.4f", w.P)
+			values[v+"/p"] = w.P
+		}
+		mp := stats.Median(perf[v])
+		ms := stats.Median(srh[v])
+		tb.AddRow(v, tabulate.F(mp), tabulate.F(ms), pStr)
+		values[v+"/median_perf"] = mp
+		values[v+"/median_search"] = ms
+	}
+	text := tb.String() + "\nEach replicate is one full common-random-numbers transfer under an\n" +
+		"independent seed; the p-values test whether the variant's best-found\n" +
+		"run times differ from RS's across replicates.\n"
+	return &Report{Text: text, Tables: []*tabulate.Table{tb}, Values: values}, nil
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tabulate"
+)
+
+// runFig1 reproduces Figure 1: the run times of random LU configurations
+// on Westmere and Sandybridge, with Pearson and Spearman coefficients.
+func runFig1(cfg Config) (*Report, error) {
+	lu, err := kernels.ByName("LU")
+	if err != nil {
+		return nil, err
+	}
+	west := kernels.NewProblem(lu, sim.Target{Machine: machine.Westmere, Compiler: machine.GNU, Threads: 1})
+	sandy := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
+
+	seq := search.Sequence(lu.Space(), cfg.CorrelationSamples, rng.NewNamed(cfg.Seed, "fig1"))
+	var w, s []float64
+	for _, c := range seq {
+		rw, _ := west.Evaluate(c)
+		rs, _ := sandy.Evaluate(c)
+		w = append(w, rw)
+		s = append(s, rs)
+	}
+	rp, err := stats.Pearson(w, s)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := stats.Spearman(w, s)
+	if err != nil {
+		return nil, err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d LU code variants evaluated on both machines.\n", len(seq))
+	fmt.Fprintf(&b, "Pearson rho_p = %.3f, Spearman rho_s = %.3f (paper: both > 0.8)\n\n", rp, rs)
+	b.WriteString(tabulate.Scatter("LU run times", "Westmere [s]", "Sandybridge [s]", w, s, 56, 16))
+
+	return &Report{
+		Text: b.String(),
+		Values: map[string]float64{
+			"pearson":  rp,
+			"spearman": rs,
+			"samples":  float64(len(seq)),
+		},
+	}, nil
+}
+
+// runFig2 reproduces Figure 2: a decision tree fit to MM data collected
+// on Sandybridge, rendered as if/else rules over the kernel's parameters.
+func runFig2(cfg Config) (*Report, error) {
+	mm, err := kernels.ByName("MM")
+	if err != nil {
+		return nil, err
+	}
+	sandy := kernels.NewProblem(mm, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
+	_, ta := core.Collect(sandy, cfg.NMax, rng.NewNamed(cfg.Seed, "fig2"))
+	X, y := ta.Encode(mm.Space())
+	tree, err := forest.FitTree(X, y, forest.TreeParams{MaxDepth: 3, MinLeaf: 5}, nil)
+	if err != nil {
+		return nil, err
+	}
+	rendered := tree.String(mm.Space().FeatureNames())
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "CART regression tree on %d MM evaluations from Sandybridge\n", len(ta))
+	b.WriteString("(leaf values are mean run times in seconds; n is the training count)\n\n")
+	b.WriteString(rendered)
+
+	return &Report{
+		Text: b.String(),
+		Values: map[string]float64{
+			"depth":   float64(tree.Depth()),
+			"leaves":  float64(tree.Leaves()),
+			"samples": float64(len(ta)),
+		},
+	}, nil
+}
+
+// transferFigure runs the transfer experiment for each workload of a
+// source -> target figure and renders the three panel columns of
+// Figures 3-5: model-based trajectories, model-free trajectories, and
+// the correlation scatter.
+func transferFigure(cfg Config, workloads []string,
+	srcM, tgtM machine.Machine, comp machine.Compiler, srcThreads, tgtThreads int) (*Report, error) {
+
+	var b strings.Builder
+	values := map[string]float64{}
+	var tables []*tabulate.Table
+
+	for _, wl := range workloads {
+		src, err := problemFor(wl, srcM, comp, srcThreads)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := problemFor(wl, tgtM, comp, tgtThreads)
+		if err != nil {
+			return nil, err
+		}
+		opts := transferOpts(cfg)
+		// One source RS stream per workload, as in the paper's setup.
+		opts.Seed = cfg.Seed ^ rng.Hash64("wl-"+wl)
+		out, err := core.Run(src, tgt, opts)
+		if err != nil {
+			return nil, err
+		}
+
+		// The paper's trajectory panels plot best-found run time against
+		// elapsed search time; sample every algorithm on a common clock
+		// grid spanning the RS baseline's full search.
+		grid := timeGrid(out.RS.Elapsed(), 56)
+		fmt.Fprintf(&b, "--- %s: %s -> %s ---\n\n", wl, srcM.Name, tgtM.Name)
+		b.WriteString(tabulate.LinesX(
+			fmt.Sprintf("%s model-based variants (best run time [s] vs search time, 0..%.0f s)",
+				wl, out.RS.Elapsed()),
+			"clock-grid point",
+			[]string{"RS", "RSp", "RSb"},
+			[][]float64{
+				finiteOnly(out.RS.SampleBestOverTime(grid)),
+				finiteOnly(out.RSp.SampleBestOverTime(grid)),
+				finiteOnly(out.RSb.SampleBestOverTime(grid)),
+			},
+			56, 12))
+		b.WriteString("\n")
+		b.WriteString(tabulate.LinesX(
+			fmt.Sprintf("%s model-free variants (best run time [s] vs search time, 0..%.0f s)",
+				wl, out.RS.Elapsed()),
+			"clock-grid point",
+			[]string{"RS", "RSpf", "RSbf"},
+			[][]float64{
+				finiteOnly(out.RS.SampleBestOverTime(grid)),
+				finiteOnly(out.RSpf.SampleBestOverTime(grid)),
+				finiteOnly(out.RSbf.SampleBestOverTime(grid)),
+			},
+			56, 12))
+		b.WriteString("\n")
+		b.WriteString(tabulate.Scatter(
+			fmt.Sprintf("%s correlation (rho_p=%.2f rho_s=%.2f)", wl, out.Pearson, out.Spearman),
+			srcM.Name+" [s]", tgtM.Name+" [s]",
+			out.SourceRuns, out.TargetRuns, 56, 14))
+		b.WriteString("\n")
+
+		tb := tabulate.NewTable(fmt.Sprintf("%s speedups over RS", wl),
+			"Variant", "Prf.Imp", "Srh.Imp")
+		for _, name := range []string{"RSp", "RSb", "RSpf", "RSbf"} {
+			sp := out.Speedups[name]
+			tb.AddRow(name, tabulate.F(sp.Performance), tabulate.F(sp.SearchTime))
+			values[wl+"/"+name+"/perf"] = sp.Performance
+			values[wl+"/"+name+"/search"] = sp.SearchTime
+		}
+		b.WriteString(tb.String())
+		b.WriteString("\n")
+		tables = append(tables, tb)
+
+		values[wl+"/pearson"] = out.Pearson
+		values[wl+"/spearman"] = out.Spearman
+	}
+
+	return &Report{Text: b.String(), Tables: tables, Values: values}, nil
+}
+
+// timeGrid returns n uniform search-clock instants over (0, total].
+func timeGrid(total float64, n int) []float64 {
+	grid := make([]float64, n)
+	for i := range grid {
+		grid[i] = total * float64(i+1) / float64(n)
+	}
+	return grid
+}
+
+// finiteOnly trims leading +Inf samples (instants before an algorithm's
+// first evaluation) so the plot scale stays finite.
+func finiteOnly(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsInf(x, 0) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func runFig3(cfg Config) (*Report, error) {
+	return transferFigure(cfg, []string{"ATAX", "LU", "HPL", "RT"},
+		machine.Westmere, machine.Sandybridge, machine.GNU, 1, 1)
+}
+
+func runFig4(cfg Config) (*Report, error) {
+	return transferFigure(cfg, []string{"ATAX", "LU", "HPL", "RT"},
+		machine.Sandybridge, machine.Power7, machine.GNU, 1, 1)
+}
+
+func runFig5(cfg Config) (*Report, error) {
+	// Xeon Phi experiments: Intel compiler, OpenMP with 8 threads on the
+	// big cores and 60 on the Phi (Section V).
+	return transferFigure(cfg, []string{"MM", "LU", "COR"},
+		machine.Sandybridge, machine.XeonPhi, machine.Intel, 8, 60)
+}

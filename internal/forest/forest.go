@@ -1,0 +1,196 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Params configures random-forest training.
+type Params struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// MTry is the number of features per split (default ceil(nf/3), the
+	// standard regression choice).
+	MTry int
+	// MinLeaf is the minimum leaf size (default 2).
+	MinLeaf int
+	// MaxDepth limits tree depth (0 = unlimited).
+	MaxDepth int
+	// SampleFraction is the bootstrap sample size as a fraction of the
+	// training set (default 1.0, drawn with replacement).
+	SampleFraction float64
+}
+
+func (p Params) withDefaults(nf int) Params {
+	if p.Trees <= 0 {
+		p.Trees = 100
+	}
+	if p.MTry <= 0 {
+		p.MTry = (nf + 2) / 3
+	}
+	if p.MinLeaf <= 0 {
+		p.MinLeaf = 2
+	}
+	if p.SampleFraction <= 0 || p.SampleFraction > 1 {
+		p.SampleFraction = 1
+	}
+	return p
+}
+
+// Forest is a fitted random-forest regressor.
+type Forest struct {
+	trees    []*Tree
+	params   Params
+	nf       int
+	oobError float64
+	oobValid bool
+}
+
+// Fit trains a random forest on X, y using the deterministic stream r.
+// Trees are grown concurrently (each tree draws from its own named
+// substream, so the result is independent of scheduling and identical to
+// a sequential fit).
+func Fit(X [][]float64, y []float64, p Params, r *rng.RNG) (*Forest, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("forest: need non-empty, equal-length X and y (%d, %d)", len(X), len(y))
+	}
+	nf := len(X[0])
+	for _, row := range X {
+		if len(row) != nf {
+			return nil, fmt.Errorf("forest: ragged feature matrix")
+		}
+	}
+	p = p.withDefaults(nf)
+	f := &Forest{params: p, nf: nf, trees: make([]*Tree, p.Trees)}
+
+	n := len(y)
+	sampleN := int(math.Max(1, p.SampleFraction*float64(n)))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.Trees {
+		workers = p.Trees
+	}
+
+	type treeOut struct {
+		inBag []bool
+		err   error
+	}
+	outs := make([]treeOut, p.Trees)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				tr := r.SplitNamed(fmt.Sprintf("tree-%d", t))
+				inBag := make([]bool, n)
+				idxX := make([][]float64, sampleN)
+				idxY := make([]float64, sampleN)
+				for i := 0; i < sampleN; i++ {
+					j := tr.Intn(n)
+					inBag[j] = true
+					idxX[i] = X[j]
+					idxY[i] = y[j]
+				}
+				tree, err := FitTree(idxX, idxY, TreeParams{
+					MaxDepth: p.MaxDepth, MinLeaf: p.MinLeaf, MTry: p.MTry,
+				}, tr)
+				f.trees[t] = tree
+				outs[t] = treeOut{inBag: inBag, err: err}
+			}
+		}()
+	}
+	for t := 0; t < p.Trees; t++ {
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+	}
+
+	// Out-of-bag bookkeeping: per-row prediction sum and count from trees
+	// whose bootstrap missed the row (sequential, deterministic order).
+	oobSum := make([]float64, n)
+	oobCount := make([]int, n)
+	for t, tree := range f.trees {
+		for j := 0; j < n; j++ {
+			if !outs[t].inBag[j] {
+				oobSum[j] += tree.Predict(X[j])
+				oobCount[j]++
+			}
+		}
+	}
+
+	sse, cnt := 0.0, 0
+	for j := 0; j < n; j++ {
+		if oobCount[j] > 0 {
+			d := oobSum[j]/float64(oobCount[j]) - y[j]
+			sse += d * d
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		f.oobError = math.Sqrt(sse / float64(cnt))
+		f.oobValid = true
+	}
+	return f, nil
+}
+
+// Predict returns the forest prediction (mean over trees) for x.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(x) != f.nf {
+		panic(fmt.Sprintf("forest: predict with %d features, trained on %d", len(x), f.nf))
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.Predict(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// PredictAll predicts every row of X.
+func (f *Forest) PredictAll(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = f.Predict(x)
+	}
+	return out
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// OOBError returns the out-of-bag RMSE and whether it is defined (it is
+// undefined when every row was in every bag).
+func (f *Forest) OOBError() (float64, bool) { return f.oobError, f.oobValid }
+
+// Importance returns per-feature importance scores normalized to sum to 1
+// (size-weighted split counts across all trees).
+func (f *Forest) Importance() []float64 {
+	acc := make([]float64, f.nf)
+	for _, t := range f.trees {
+		t.featureImportance(acc)
+	}
+	total := 0.0
+	for _, v := range acc {
+		total += v
+	}
+	if total > 0 {
+		for i := range acc {
+			acc[i] /= total
+		}
+	}
+	return acc
+}
+
+// Tree returns the i-th tree (for inspection/rendering).
+func (f *Forest) Tree(i int) *Tree { return f.trees[i] }

@@ -1,0 +1,103 @@
+package forest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The wire format for fitted models: a versioned JSON document. In the
+// paper's workflow the surrogate is built on one machine and shipped to
+// wherever the next tuning run happens; serialization is what makes the
+// "reuse autotuning knowledge" story practical.
+
+type jsonNode struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t,omitempty"`
+	Left      int     `json:"l,omitempty"`
+	Right     int     `json:"r,omitempty"`
+	Value     float64 `json:"v"`
+	Count     int     `json:"n"`
+	Gain      float64 `json:"g,omitempty"`
+}
+
+type jsonTree struct {
+	Nodes []jsonNode `json:"nodes"`
+}
+
+type jsonForest struct {
+	Version  int        `json:"version"`
+	Features int        `json:"features"`
+	Trees    []jsonTree `json:"trees"`
+	OOBError float64    `json:"oob_error,omitempty"`
+	OOBValid bool       `json:"oob_valid,omitempty"`
+}
+
+const wireVersion = 1
+
+// Save writes the fitted forest as JSON.
+func (f *Forest) Save(w io.Writer) error {
+	doc := jsonForest{
+		Version:  wireVersion,
+		Features: f.nf,
+		OOBError: f.oobError,
+		OOBValid: f.oobValid,
+	}
+	for _, t := range f.trees {
+		jt := jsonTree{Nodes: make([]jsonNode, len(t.nodes))}
+		for i, n := range t.nodes {
+			jt.Nodes[i] = jsonNode{
+				Feature: n.feature, Threshold: n.threshold,
+				Left: n.left, Right: n.right,
+				Value: n.value, Count: n.count, Gain: n.gain,
+			}
+		}
+		doc.Trees = append(doc.Trees, jt)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// Load reads a forest saved by Save and validates its structure.
+func Load(r io.Reader) (*Forest, error) {
+	var doc jsonForest
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("forest: decoding: %w", err)
+	}
+	if doc.Version != wireVersion {
+		return nil, fmt.Errorf("forest: unsupported version %d", doc.Version)
+	}
+	if doc.Features <= 0 || len(doc.Trees) == 0 {
+		return nil, fmt.Errorf("forest: empty or invalid document")
+	}
+	f := &Forest{nf: doc.Features, oobError: doc.OOBError, oobValid: doc.OOBValid}
+	for ti, jt := range doc.Trees {
+		t := &Tree{nodes: make([]node, len(jt.Nodes))}
+		for i, jn := range jt.Nodes {
+			if jn.Feature >= doc.Features {
+				return nil, fmt.Errorf("forest: tree %d node %d references feature %d of %d",
+					ti, i, jn.Feature, doc.Features)
+			}
+			if jn.Feature >= 0 {
+				if jn.Left < 0 || jn.Left >= len(jt.Nodes) ||
+					jn.Right < 0 || jn.Right >= len(jt.Nodes) {
+					return nil, fmt.Errorf("forest: tree %d node %d has dangling children", ti, i)
+				}
+				if jn.Left == i || jn.Right == i {
+					return nil, fmt.Errorf("forest: tree %d node %d is self-referential", ti, i)
+				}
+			}
+			t.nodes[i] = node{
+				feature: jn.Feature, threshold: jn.Threshold,
+				left: jn.Left, right: jn.Right,
+				value: jn.Value, count: jn.Count, gain: jn.Gain,
+			}
+		}
+		if len(t.nodes) == 0 {
+			return nil, fmt.Errorf("forest: tree %d is empty", ti)
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}

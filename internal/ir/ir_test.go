@@ -1,0 +1,294 @@
+package ir
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// matmulNest builds a plain N×N×N matrix-multiply nest for tests.
+func matmulNest(n float64) *Nest {
+	N := Sym("N", 1)
+	return &Nest{
+		Name: "mm",
+		Loops: []Loop{
+			{Var: "i", Lower: Constant(0), Upper: N, Step: 1, Unroll: 1},
+			{Var: "j", Lower: Constant(0), Upper: N, Step: 1, Unroll: 1},
+			{Var: "k", Lower: Constant(0), Upper: N, Step: 1, Unroll: 1},
+		},
+		Body: []Stmt{{
+			Refs: []Ref{
+				{Array: "C", Index: []Expr{Sym("i", 1), Sym("j", 1)}, Write: true},
+				{Array: "A", Index: []Expr{Sym("i", 1), Sym("k", 1)}},
+				{Array: "B", Index: []Expr{Sym("k", 1), Sym("j", 1)}},
+			},
+			Flops: 2,
+		}},
+		Arrays: map[string]Array{
+			"A": {Name: "A", Dims: []Expr{N, N}, ElemSize: 8},
+			"B": {Name: "B", Dims: []Expr{N, N}, ElemSize: 8},
+			"C": {Name: "C", Dims: []Expr{N, N}, ElemSize: 8},
+		},
+		Sizes: map[string]float64{"N": n},
+	}
+}
+
+// triangularNest models the LU update loops: k outer, i and j from k+1 to N.
+func triangularNest(n float64) *Nest {
+	N := Sym("N", 1)
+	return &Nest{
+		Name: "tri",
+		Loops: []Loop{
+			{Var: "k", Lower: Constant(0), Upper: N, Step: 1, Unroll: 1},
+			{Var: "i", Lower: Sym("k", 1).AddConst(1), Upper: N, Step: 1, Unroll: 1},
+			{Var: "j", Lower: Sym("k", 1).AddConst(1), Upper: N, Step: 1, Unroll: 1},
+		},
+		Body: []Stmt{{
+			Refs: []Ref{
+				{Array: "A", Index: []Expr{Sym("i", 1), Sym("j", 1)}, Write: true},
+				{Array: "A", Index: []Expr{Sym("i", 1), Sym("k", 1)}},
+				{Array: "A", Index: []Expr{Sym("k", 1), Sym("j", 1)}},
+			},
+			Flops: 2,
+		}},
+		Arrays: map[string]Array{
+			"A": {Name: "A", Dims: []Expr{N, N}, ElemSize: 8},
+		},
+		Sizes: map[string]float64{"N": n},
+	}
+}
+
+func TestExprArithmetic(t *testing.T) {
+	e := Sym("i", 2).Add(Sym("j", 3)).AddConst(5)
+	env := map[string]float64{"i": 10, "j": 1}
+	if v := e.Eval(env); v != 28 {
+		t.Fatalf("Eval = %v, want 28", v)
+	}
+	if e.CoeffOf("i") != 2 || e.CoeffOf("missing") != 0 {
+		t.Fatal("CoeffOf wrong")
+	}
+	s := e.Scale(2)
+	if s.Eval(env) != 56 {
+		t.Fatalf("Scale eval = %v", s.Eval(env))
+	}
+}
+
+func TestExprAddCancelsZeroCoeffs(t *testing.T) {
+	e := Sym("i", 2).Add(Sym("i", -2))
+	if e.Uses("i") {
+		t.Fatal("cancelled coefficient still present")
+	}
+}
+
+func TestExprSubstitute(t *testing.T) {
+	// i -> 4*ii + 2, applied to expr 3i + 1 gives 12*ii + 7.
+	e := Sym("i", 3).AddConst(1)
+	got := e.Substitute("i", Sym("ii", 4).AddConst(2))
+	if got.CoeffOf("ii") != 12 || got.Const != 7 || got.Uses("i") {
+		t.Fatalf("Substitute = %v", got)
+	}
+	// Substituting an absent symbol is identity.
+	same := e.Substitute("z", Sym("q", 5))
+	if same.String() != e.String() {
+		t.Fatal("substitute of absent symbol changed expression")
+	}
+}
+
+func TestExprStringDeterministic(t *testing.T) {
+	e := Sym("b", 1).Add(Sym("a", 2)).AddConst(-3)
+	if e.String() != "2*a + b - 3" {
+		t.Fatalf("String = %q", e.String())
+	}
+	if Constant(0).String() != "0" {
+		t.Fatalf("zero renders as %q", Constant(0).String())
+	}
+	neg := Sym("a", -1)
+	if neg.String() != "-a" {
+		t.Fatalf("negative leading coeff renders as %q", neg.String())
+	}
+}
+
+func TestExprEvalLinearityProperty(t *testing.T) {
+	f := func(c1, c2 int8, x, y uint8) bool {
+		e1 := Sym("x", float64(c1))
+		e2 := Sym("y", float64(c2))
+		env := map[string]float64{"x": float64(x), "y": float64(y)}
+		sum := e1.Add(e2).Eval(env)
+		return sum == e1.Eval(env)+e2.Eval(env)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTripCountRectangular(t *testing.T) {
+	n := matmulNest(100)
+	for i := 0; i < 3; i++ {
+		if tc := n.TripCount(i); tc != 100 {
+			t.Fatalf("trip count of loop %d = %v, want 100", i, tc)
+		}
+	}
+	if be := n.BodyExecutions(); be != 1e6 {
+		t.Fatalf("body executions = %v, want 1e6", be)
+	}
+	if fl := n.TotalFlops(); fl != 2e6 {
+		t.Fatalf("total flops = %v, want 2e6", fl)
+	}
+}
+
+func TestTripCountTriangular(t *testing.T) {
+	n := triangularNest(100)
+	// k runs 0..100: trip 100. i runs k+1..100 with k at midpoint 50:
+	// average trip ~49.
+	if tc := n.TripCount(0); tc != 100 {
+		t.Fatalf("outer trip = %v", tc)
+	}
+	inner := n.TripCount(1)
+	if inner < 40 || inner > 55 {
+		t.Fatalf("average triangular trip = %v, want ~49", inner)
+	}
+	// Exact triangular body count is sum (N-k-1)^2 ≈ N^3/3; the midpoint
+	// approximation gives N*avg^2 ≈ N^3/4. Accept the modeled value but
+	// require the right order of magnitude.
+	be := n.BodyExecutions()
+	if be < 1e5 || be > 5e5 {
+		t.Fatalf("triangular body executions = %v", be)
+	}
+}
+
+func TestStepAffectsTripCount(t *testing.T) {
+	n := matmulNest(128)
+	n.Loops[0].Step = 32
+	if tc := n.TripCount(0); tc != 4 {
+		t.Fatalf("strided trip = %v, want 4", tc)
+	}
+}
+
+func TestIterCountWithUnroll(t *testing.T) {
+	n := matmulNest(64)
+	n.Loops[2].Unroll = 4
+	// Innermost loop headers execute 64/4=16 times per (i,j).
+	if ic := n.IterCount(2); ic != 64*64*16 {
+		t.Fatalf("IterCount = %v, want %v", ic, 64*64*16)
+	}
+	// Body executions are unchanged by unrolling.
+	if be := n.BodyExecutions(); be != 64*64*64 {
+		t.Fatalf("BodyExecutions = %v", be)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n := matmulNest(10)
+	c := n.Clone()
+	c.Loops[0].Unroll = 8
+	c.Body[0].Refs[0].Array = "Z"
+	c.Arrays["A"] = Array{Name: "A", Dims: []Expr{Constant(1)}, ElemSize: 4}
+	c.Sizes["N"] = 999
+	if n.Loops[0].Unroll != 1 || n.Body[0].Refs[0].Array != "C" ||
+		n.Arrays["A"].ElemSize != 8 || n.Sizes["N"] != 10 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestValidateAcceptsGoodNest(t *testing.T) {
+	if err := matmulNest(10).Validate(); err != nil {
+		t.Fatalf("valid nest rejected: %v", err)
+	}
+	if err := triangularNest(10).Validate(); err != nil {
+		t.Fatalf("valid triangular nest rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	n := matmulNest(10)
+	n.Loops[1].Var = "i" // duplicate
+	if n.Validate() == nil {
+		t.Fatal("duplicate loop var accepted")
+	}
+
+	n = matmulNest(10)
+	n.Body[0].Refs[0].Array = "missing"
+	if n.Validate() == nil {
+		t.Fatal("undeclared array accepted")
+	}
+
+	n = matmulNest(10)
+	n.Body[0].Refs[0].Index = n.Body[0].Refs[0].Index[:1]
+	if n.Validate() == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+
+	n = matmulNest(10)
+	n.Loops[0].Step = 0
+	if n.Validate() == nil {
+		t.Fatal("zero step accepted")
+	}
+
+	n = matmulNest(10)
+	n.Loops[0].Unroll = 0
+	if n.Validate() == nil {
+		t.Fatal("unroll 0 accepted")
+	}
+
+	n = matmulNest(10)
+	n.Body[0].Refs[0].Index[0] = Sym("q", 1)
+	if n.Validate() == nil {
+		t.Fatal("unknown index symbol accepted")
+	}
+}
+
+func TestLoopIndex(t *testing.T) {
+	n := matmulNest(10)
+	if n.LoopIndex("j") != 1 || n.LoopIndex("zz") != -1 {
+		t.Fatal("LoopIndex wrong")
+	}
+}
+
+func TestVarExtent(t *testing.T) {
+	n := matmulNest(200)
+	if v := n.VarExtent("i"); v != 200 {
+		t.Fatalf("extent = %v", v)
+	}
+	if v := n.VarExtent("nope"); v != 0 {
+		t.Fatalf("extent of unknown var = %v", v)
+	}
+}
+
+func TestStringRendersStructure(t *testing.T) {
+	s := matmulNest(10).String()
+	for _, want := range []string{"for (i", "for (j", "for (k", "C[i][j]=", "A[i][k]", "2 flops"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered nest missing %q:\n%s", want, s)
+		}
+	}
+	n := matmulNest(10)
+	n.Loops[2].Unroll = 4
+	if !strings.Contains(n.String(), "unroll 4") {
+		t.Fatal("unroll annotation not rendered")
+	}
+}
+
+func TestRefsFlatten(t *testing.T) {
+	n := matmulNest(10)
+	refs := n.Refs()
+	if len(refs) != 3 {
+		t.Fatalf("Refs len = %d", len(refs))
+	}
+}
+
+func TestTotalFlopsScalesWithN(t *testing.T) {
+	small := matmulNest(50).TotalFlops()
+	big := matmulNest(100).TotalFlops()
+	if math.Abs(big/small-8) > 1e-9 {
+		t.Fatalf("flops should scale as N^3: ratio = %v", big/small)
+	}
+}
+
+func TestEmptyLoopTripCountZero(t *testing.T) {
+	n := matmulNest(10)
+	n.Loops[0].Lower = Constant(20) // lower above upper
+	if tc := n.TripCount(0); tc != 0 {
+		t.Fatalf("empty loop trip = %v, want 0", tc)
+	}
+}

@@ -1,0 +1,280 @@
+// Package machine describes the five architectures of the paper's Table II
+// and the two compilers used in the experiments. A Machine carries both the
+// published specification (cores, clock, cache sizes, memory) and the
+// micro-architectural coefficients the analytical cost model in
+// internal/sim needs (vector width, register file, issue width, memory
+// bandwidth and latencies).
+//
+// The paper ran on real hardware at Argonne's Joint Laboratory for System
+// Evaluation; we substitute analytical machine models parameterized by the
+// same published specifications (see DESIGN.md, "Substitutions"). The
+// cross-machine phenomenon the paper studies — rank correlation of
+// configuration quality between machines with similar memory hierarchies —
+// emerges directly from these models sharing cache structure.
+package machine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Machine is one target architecture.
+type Machine struct {
+	Name      string
+	Processor string
+
+	// Published specification (Table II).
+	Cores    int
+	ClockGHz float64
+	L1KB     int
+	L2KB     int
+	L3MB     float64 // 0 means no L3 (Xeon Phi)
+	L3Shared bool    // shared across cores vs per-core
+	MemoryGB int
+
+	// Micro-architecture model coefficients.
+	VectorWidth int     // doubles per SIMD operation
+	FPRegisters int     // architectural FP/vector registers
+	IssueWidth  float64 // sustained ops per cycle per core
+	OoOWindow   int     // out-of-order window; small means in-order-like
+	FlopsPerCy  float64 // peak double-precision flops per cycle per core
+	MemBWGBs    float64 // socket memory bandwidth, GB/s
+	MemLatNs    float64 // DRAM access latency, ns
+	L1LatCy     float64 // load-to-use latencies, cycles
+	L2LatCy     float64
+	L3LatCy     float64
+	SMTPerCore  int
+	TLBEntries  int     // data TLB entries (4KB pages)
+	TLBWalkCy   float64 // page-walk cost in cycles
+	// L2SharedCores is how many cores share one L2 slice (1 on Intel and
+	// POWER; the X-Gene pairs cores per L2, halving the effective
+	// per-core capacity and shifting its tiling optima).
+	L2SharedCores int
+
+	// Behavioral coefficients.
+	NoiseSigma float64 // log-normal run-to-run measurement noise
+	// CodeGenSigma is the log-normal spread of per-variant code quality:
+	// how much the compiler's scheduling/selection luck varies from one
+	// generated variant to another. Mature x86/POWER backends are tight;
+	// the 2013-era ARM64 backend on X-Gene was highly erratic, which is
+	// what destroys cross-machine rank correlation in the paper's ARM
+	// experiments. Deterministic per configuration (it is a property of
+	// the generated code, not of a run).
+	CodeGenSigma  float64
+	CompileBaseS  float64 // seconds to compile the untransformed kernel
+	CompileSizeS  float64 // extra seconds per unit of generated-code growth
+	UnrollPenalty float64 // I-cache/branch penalty coefficient for large unrolled bodies
+	// BlockSchedPenalty is the per-element cost multiplier for large
+	// unroll-and-jam register blocks on cores whose compiler/pipeline
+	// combination cannot schedule them (in-order issue, long FP latency,
+	// immature backend). Zero on the big out-of-order cores; significant
+	// on X-Gene, where it inverts the register-tiling preference that the
+	// Intel machines share.
+	BlockSchedPenalty float64
+	// SlowdownCap, when positive with FloorEfficiency, bounds how much
+	// worse than the efficiency floor any variant can get: the weak
+	// in-order pipeline and low clock bottleneck good and bad code alike,
+	// compressing the landscape's relative spread.
+	SlowdownCap float64
+	// FloorEfficiency, when positive, caps how much of the machine's peak
+	// any variant can realize: run time cannot drop below
+	// flops/(FloorEfficiency*peak). Narrow in-order pipelines stall on
+	// memory latency whatever the source-level transformation, so on
+	// X-Gene all sane variants converge to the same ceiling — the flat
+	// landscape top behind the paper's 1.00/1.00 ARM entries.
+	FloorEfficiency float64
+	ParallelEff     float64 // OpenMP strong-scaling efficiency
+}
+
+// L1Bytes returns the per-core L1 data cache capacity in bytes.
+func (m Machine) L1Bytes() float64 { return float64(m.L1KB) * 1024 }
+
+// L2Bytes returns the effective per-core L2 capacity in bytes,
+// accounting for cores that share an L2 slice.
+func (m Machine) L2Bytes() float64 {
+	share := m.L2SharedCores
+	if share < 1 {
+		share = 1
+	}
+	return float64(m.L2KB) * 1024 / float64(share)
+}
+
+// L3BytesPerCore returns the L3 capacity available to one core in bytes
+// (the shared capacity divided by core count when shared), or 0 if the
+// machine has no L3.
+func (m Machine) L3BytesPerCore() float64 {
+	if m.L3MB == 0 {
+		return 0
+	}
+	b := m.L3MB * 1024 * 1024
+	if m.L3Shared {
+		return b / float64(m.Cores)
+	}
+	return b
+}
+
+// String implements fmt.Stringer.
+func (m Machine) String() string {
+	return fmt.Sprintf("%s (%s, %d cores @ %.2f GHz, L1 %dKB L2 %dKB L3 %gMB, %dGB)",
+		m.Name, m.Processor, m.Cores, m.ClockGHz, m.L1KB, m.L2KB, m.L3MB, m.MemoryGB)
+}
+
+// The five machines of Table II. Published columns come from the paper;
+// micro-architectural coefficients are standard figures for each part.
+var (
+	// Sandybridge is the Intel E5-2687W: 8 cores, 3.4 GHz, AVX.
+	Sandybridge = Machine{
+		Name: "Sandybridge", Processor: "Intel E5-2687W",
+		Cores: 8, ClockGHz: 3.4, L1KB: 32, L2KB: 256, L3MB: 20, L3Shared: true, MemoryGB: 64,
+		VectorWidth: 4, FPRegisters: 16, IssueWidth: 4, OoOWindow: 168, FlopsPerCy: 8,
+		MemBWGBs: 51.2, MemLatNs: 75, L1LatCy: 4, L2LatCy: 12, L3LatCy: 30, SMTPerCore: 2,
+		TLBEntries: 512, TLBWalkCy: 30,
+		CodeGenSigma: 0.02, NoiseSigma: 0.015, CompileBaseS: 0.9, CompileSizeS: 0.04, UnrollPenalty: 0.018,
+		ParallelEff: 0.85,
+	}
+
+	// Westmere is the Intel E5645: 6 cores, 2.4 GHz, SSE4.2. One Intel
+	// generation before Sandybridge; identical L1/L2 structure.
+	Westmere = Machine{
+		Name: "Westmere", Processor: "Intel E5645",
+		Cores: 6, ClockGHz: 2.4, L1KB: 32, L2KB: 256, L3MB: 12, L3Shared: true, MemoryGB: 48,
+		VectorWidth: 2, FPRegisters: 16, IssueWidth: 4, OoOWindow: 128, FlopsPerCy: 4,
+		MemBWGBs: 32, MemLatNs: 85, L1LatCy: 4, L2LatCy: 11, L3LatCy: 38, SMTPerCore: 2,
+		TLBEntries: 512, TLBWalkCy: 32,
+		CodeGenSigma: 0.02, NoiseSigma: 0.015, CompileBaseS: 1.1, CompileSizeS: 0.05, UnrollPenalty: 0.02,
+		ParallelEff: 0.85,
+	}
+
+	// XeonPhi is the Intel Xeon Phi 7120a (Knights Corner): 61 in-order
+	// cores, 512-bit vectors, no L3, high-bandwidth GDDR.
+	XeonPhi = Machine{
+		Name: "XeonPhi", Processor: "Intel Xeon Phi 7120a",
+		Cores: 61, ClockGHz: 1.24, L1KB: 32, L2KB: 512, L3MB: 0, MemoryGB: 16,
+		VectorWidth: 8, FPRegisters: 32, IssueWidth: 2, OoOWindow: 8, FlopsPerCy: 16,
+		MemBWGBs: 200, MemLatNs: 300, L1LatCy: 3, L2LatCy: 24, L3LatCy: 0, SMTPerCore: 4,
+		TLBEntries: 64, TLBWalkCy: 60,
+		CodeGenSigma: 0.06, NoiseSigma: 0.03, CompileBaseS: 1.6, CompileSizeS: 0.08, UnrollPenalty: 0.045, BlockSchedPenalty: 0.004,
+		ParallelEff: 0.7,
+	}
+
+	// Power7 is the IBM Power7+: 6 cores (paper's node), 4.2 GHz, VSX,
+	// large per-core eDRAM L3. Different vendor, but the same 32KB L1 /
+	// 256KB L2 structure as the Intel parts — the source of the
+	// cross-vendor correlation the paper reports.
+	Power7 = Machine{
+		Name: "Power7", Processor: "IBM Power7+",
+		Cores: 6, ClockGHz: 4.2, L1KB: 32, L2KB: 256, L3MB: 10, L3Shared: false, MemoryGB: 128,
+		VectorWidth: 2, FPRegisters: 64, IssueWidth: 4.5, OoOWindow: 120, FlopsPerCy: 8,
+		MemBWGBs: 100, MemLatNs: 95, L1LatCy: 3, L2LatCy: 8, L3LatCy: 25, SMTPerCore: 4,
+		TLBEntries: 1024, TLBWalkCy: 25,
+		CodeGenSigma: 0.03, NoiseSigma: 0.02, CompileBaseS: 1.4, CompileSizeS: 0.06, UnrollPenalty: 0.016,
+		ParallelEff: 0.8,
+	}
+
+	// XGene is the AppliedMicro APM883208-X1 ARM 64-bit: 8 cores, modest
+	// caches and bandwidth, a narrow out-of-order engine that tolerates
+	// little unrolling, and very slow compilation (the paper could not
+	// even collect all problems on it).
+	XGene = Machine{
+		Name: "X-Gene", Processor: "APM883208-X1",
+		Cores: 8, ClockGHz: 2.4, L1KB: 32, L2KB: 256, L3MB: 8, L3Shared: true, MemoryGB: 16,
+		VectorWidth: 2, FPRegisters: 32, IssueWidth: 2, OoOWindow: 28, FlopsPerCy: 2,
+		MemBWGBs: 17, MemLatNs: 130, L1LatCy: 5, L2LatCy: 20, L3LatCy: 60, SMTPerCore: 1,
+		TLBEntries: 32, TLBWalkCy: 90, L2SharedCores: 2,
+		CodeGenSigma: 0.22, NoiseSigma: 0.05, CompileBaseS: 6.5, CompileSizeS: 0.6, UnrollPenalty: 0.11, BlockSchedPenalty: 0.08, FloorEfficiency: 0.028, SlowdownCap: 12,
+		ParallelEff: 0.6,
+	}
+)
+
+// All returns the five machines in the paper's Table II order.
+func All() []Machine {
+	return []Machine{Sandybridge, Westmere, XeonPhi, Power7, XGene}
+}
+
+// ByName returns the machine with the given name (case-sensitive).
+func ByName(name string) (Machine, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Machine{}, fmt.Errorf("machine: unknown machine %q (known: %v)", name, Names())
+}
+
+// Names returns the known machine names, sorted.
+func Names() []string {
+	ms := All()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Compiler models a compiler+flags combination (a hyperparameter β in the
+// paper's formulation, held fixed across source and target machines).
+type Compiler struct {
+	Name  string
+	Flags string
+
+	// AutoVec is the fraction of the machine's SIMD peak the compiler
+	// reaches on untransformed inner loops (the Intel compiler
+	// auto-vectorizes aggressively; GCC 4.4.7 barely does).
+	AutoVec float64
+	// AutoUnroll, AutoRegTile, and AutoTile describe the transformations
+	// the compiler performs on its own when the user leaves the
+	// corresponding knobs at their identity values.
+	AutoUnroll  int
+	AutoRegTile int
+	AutoTile    int
+	// Interference is the relative run-time penalty incurred when manual
+	// source-level transformations obstruct the compiler's own pipeline
+	// (loop recognition, vectorization). It scales with the machine's
+	// reliance on vectorization; on the Xeon Phi it makes the
+	// untransformed MM variant the best, as the paper observed.
+	Interference float64
+	// RectOnly restricts the compiler's automatic transformations to
+	// rectangular loop nests (compilers rarely tile or jam triangular
+	// loops such as LU's).
+	RectOnly bool
+}
+
+// GNU is gcc 4.4.7 with -O3: the paper's default, supported everywhere.
+var GNU = Compiler{
+	Name: "gnu-4.4.7", Flags: "-O3",
+	AutoVec: 0.35, AutoUnroll: 2, AutoRegTile: 1, AutoTile: 1, Interference: 0.02, RectOnly: true,
+}
+
+// Intel is icc 15.0.1 with -O3, used for the Xeon Phi experiments.
+var Intel = Compiler{
+	Name: "intel-15.0.1", Flags: "-O3",
+	AutoVec: 0.9, AutoUnroll: 4, AutoRegTile: 4, AutoTile: 64, Interference: 0.18, RectOnly: true,
+}
+
+// Compilers returns the known compilers.
+func Compilers() []Compiler { return []Compiler{GNU, Intel} }
+
+// CompilerByName returns the named compiler.
+func CompilerByName(name string) (Compiler, error) {
+	for _, c := range Compilers() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Compiler{}, fmt.Errorf("machine: unknown compiler %q", name)
+}
+
+// SupportsCompiler reports whether the compiler is available on the
+// machine (the Intel compiler only targets Intel architectures).
+func (m Machine) SupportsCompiler(c Compiler) bool {
+	if c.Name == Intel.Name {
+		switch m.Name {
+		case Sandybridge.Name, Westmere.Name, XeonPhi.Name:
+			return true
+		default:
+			return false
+		}
+	}
+	return true
+}

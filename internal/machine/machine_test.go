@@ -1,0 +1,180 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableII verifies the published specification columns of the paper's
+// Table II exactly (EXP-T2).
+func TestTableII(t *testing.T) {
+	cases := []struct {
+		m         Machine
+		processor string
+		cores     int
+		clock     float64
+		l1, l2    int
+		l3        float64
+		mem       int
+	}{
+		{Sandybridge, "Intel E5-2687W", 8, 3.4, 32, 256, 20, 64},
+		{Westmere, "Intel E5645", 6, 2.4, 32, 256, 12, 48},
+		{XeonPhi, "Intel Xeon Phi 7120a", 61, 1.24, 32, 512, 0, 16},
+		{Power7, "IBM Power7+", 6, 4.2, 32, 256, 10, 128},
+		{XGene, "APM883208-X1", 8, 2.4, 32, 256, 8, 16},
+	}
+	for _, c := range cases {
+		m := c.m
+		if m.Processor != c.processor || m.Cores != c.cores || m.ClockGHz != c.clock ||
+			m.L1KB != c.l1 || m.L2KB != c.l2 || m.L3MB != c.l3 || m.MemoryGB != c.mem {
+			t.Errorf("%s does not match Table II: %+v", m.Name, m)
+		}
+	}
+}
+
+func TestAllReturnsFive(t *testing.T) {
+	if len(All()) != 5 {
+		t.Fatalf("All() returned %d machines, want 5", len(All()))
+	}
+	seen := map[string]bool{}
+	for _, m := range All() {
+		if seen[m.Name] {
+			t.Fatalf("duplicate machine %s", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("Power7")
+	if err != nil || m.Processor != "IBM Power7+" {
+		t.Fatalf("ByName(Power7) = %v, %v", m, err)
+	}
+	if _, err := ByName("Itanium"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestCacheByteHelpers(t *testing.T) {
+	if Sandybridge.L1Bytes() != 32*1024 {
+		t.Fatal("L1Bytes wrong")
+	}
+	if Sandybridge.L2Bytes() != 256*1024 {
+		t.Fatal("L2Bytes wrong")
+	}
+	// Shared 20MB over 8 cores.
+	if got := Sandybridge.L3BytesPerCore(); got != 20*1024*1024/8 {
+		t.Fatalf("shared L3 per core = %v", got)
+	}
+	// Power7 L3 is per-core.
+	if got := Power7.L3BytesPerCore(); got != 10*1024*1024 {
+		t.Fatalf("per-core L3 = %v", got)
+	}
+	// Phi has no L3.
+	if XeonPhi.L3BytesPerCore() != 0 {
+		t.Fatal("Phi should have no L3")
+	}
+}
+
+func TestMicroarchSanity(t *testing.T) {
+	for _, m := range All() {
+		if m.VectorWidth < 1 || m.FPRegisters < 8 || m.IssueWidth <= 0 ||
+			m.FlopsPerCy <= 0 || m.MemBWGBs <= 0 || m.MemLatNs <= 0 ||
+			m.NoiseSigma <= 0 || m.CompileBaseS <= 0 || m.ParallelEff <= 0 || m.ParallelEff > 1 {
+			t.Errorf("%s has implausible coefficients: %+v", m.Name, m)
+		}
+	}
+	// Qualitative orderings the substitution relies on.
+	if XeonPhi.VectorWidth <= Sandybridge.VectorWidth {
+		t.Error("Phi must have the widest vectors")
+	}
+	if XGene.OoOWindow >= Westmere.OoOWindow {
+		t.Error("X-Gene must have the narrowest OoO window among full cores")
+	}
+	if XGene.UnrollPenalty <= Sandybridge.UnrollPenalty {
+		t.Error("X-Gene must penalize unrolling more than Intel big cores")
+	}
+	if XGene.CompileBaseS <= 2*Sandybridge.CompileBaseS {
+		t.Error("X-Gene compilation must be much slower (paper: times too high)")
+	}
+}
+
+func TestCompilers(t *testing.T) {
+	if len(Compilers()) != 2 {
+		t.Fatal("expected GNU and Intel compilers")
+	}
+	c, err := CompilerByName("gnu-4.4.7")
+	if err != nil || c.Flags != "-O3" {
+		t.Fatalf("CompilerByName gnu = %v, %v", c, err)
+	}
+	if _, err := CompilerByName("clang"); err == nil {
+		t.Fatal("unknown compiler accepted")
+	}
+	if Intel.AutoVec <= GNU.AutoVec {
+		t.Error("Intel compiler must auto-vectorize more aggressively than GCC 4.4.7")
+	}
+	if Intel.Interference <= GNU.Interference {
+		t.Error("Intel compiler must have stronger manual-transformation interference")
+	}
+}
+
+func TestSupportsCompiler(t *testing.T) {
+	for _, m := range All() {
+		if !m.SupportsCompiler(GNU) {
+			t.Errorf("GNU must be supported on %s (paper: supported on all)", m.Name)
+		}
+	}
+	if !Sandybridge.SupportsCompiler(Intel) || !XeonPhi.SupportsCompiler(Intel) {
+		t.Error("Intel compiler must be supported on Intel machines")
+	}
+	if Power7.SupportsCompiler(Intel) || XGene.SupportsCompiler(Intel) {
+		t.Error("Intel compiler must not be supported on non-Intel machines")
+	}
+}
+
+func TestStringContainsSpecs(t *testing.T) {
+	s := Westmere.String()
+	for _, want := range []string{"Westmere", "E5645", "6 cores", "2.40 GHz"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatal("Names() wrong length")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names() not sorted")
+		}
+	}
+}
+
+func TestTLBModel(t *testing.T) {
+	for _, m := range All() {
+		if m.TLBEntries <= 0 || m.TLBWalkCy <= 0 {
+			t.Errorf("%s lacks a TLB model", m.Name)
+		}
+	}
+	// X-Gene's small TLB reach (vs Intel's) is one of the structural
+	// differences that decorrelates its tuning landscape.
+	if XGene.TLBEntries >= Westmere.TLBEntries/4 {
+		t.Error("X-Gene TLB must be much smaller than Intel's")
+	}
+}
+
+func TestCodeGenVariance(t *testing.T) {
+	// The ARM backend's erratic code generation is the decorrelation
+	// mechanism for the paper's failed X-Gene transfers.
+	if XGene.CodeGenSigma < 5*Sandybridge.CodeGenSigma {
+		t.Error("X-Gene code-generation variance must far exceed Intel's")
+	}
+	for _, m := range All() {
+		if m.CodeGenSigma < 0 || m.CodeGenSigma > 1 {
+			t.Errorf("%s: implausible CodeGenSigma %v", m.Name, m.CodeGenSigma)
+		}
+	}
+}

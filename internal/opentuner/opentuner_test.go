@@ -1,0 +1,162 @@
+package opentuner
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/miniapps"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/space"
+)
+
+// rosen is a synthetic problem: a discretized non-convex valley.
+type rosen struct {
+	spc *space.Space
+}
+
+func newRosen() *rosen {
+	return &rosen{spc: space.New(
+		space.NewIntRange("x", 0, 20),
+		space.NewIntRange("y", 0, 20),
+	)}
+}
+
+func (p *rosen) Name() string        { return "rosen" }
+func (p *rosen) Space() *space.Space { return p.spc }
+func (p *rosen) Evaluate(c space.Config) (float64, float64) {
+	x := float64(c[0])/10 - 1
+	y := float64(c[1])/10 - 1
+	run := 1 + 100*(y-x*x)*(y-x*x) + (1-x)*(1-x)
+	return run, run + 0.1
+}
+
+func TestTunerRespectsBudget(t *testing.T) {
+	tun := New(Options{NMax: 60}, rng.New(1))
+	res, pulls := tun.Run(newRosen())
+	if len(res.Records) != 60 {
+		t.Fatalf("evaluated %d configs, budget 60", len(res.Records))
+	}
+	total := 0
+	for _, n := range pulls {
+		total += n
+	}
+	if total < 60 {
+		t.Fatalf("pulls %d below evaluations", total)
+	}
+	if len(pulls) != 4 {
+		t.Fatalf("default ensemble should have 4 techniques, got %v", pulls)
+	}
+}
+
+func TestTunerDeterministic(t *testing.T) {
+	r1, _ := New(Options{NMax: 50}, rng.New(7)).Run(newRosen())
+	r2, _ := New(Options{NMax: 50}, rng.New(7)).Run(newRosen())
+	b1, _, _ := r1.Best()
+	b2, _, _ := r2.Best()
+	if b1.RunTime != b2.RunTime || len(r1.Records) != len(r2.Records) {
+		t.Fatal("tuner not deterministic under a fixed seed")
+	}
+}
+
+func TestTunerImprovesOverBudget(t *testing.T) {
+	res, _ := New(Options{NMax: 120}, rng.New(3)).Run(newRosen())
+	best, _, _ := res.Best()
+	if best.RunTime > 3 {
+		t.Fatalf("ensemble best %.2f after 120 evals on rosenbrock grid", best.RunTime)
+	}
+}
+
+func TestTunerBeatsOrMatchesPureRandom(t *testing.T) {
+	// Across a few seeds, the ensemble should be at least as good as
+	// pure random sampling with the same budget.
+	var ensWins int
+	for seed := uint64(1); seed <= 5; seed++ {
+		res, _ := New(Options{NMax: 80}, rng.New(seed)).Run(newRosen())
+		ensBest, _, _ := res.Best()
+		rs := search.RS(newRosen(), 80, rng.New(seed+100))
+		rsBest, _, _ := rs.Best()
+		if ensBest.RunTime <= rsBest.RunTime {
+			ensWins++
+		}
+	}
+	if ensWins < 3 {
+		t.Fatalf("ensemble beat random in only %d/5 seeds", ensWins)
+	}
+}
+
+func TestNoDuplicateEvaluations(t *testing.T) {
+	res, _ := New(Options{NMax: 100}, rng.New(11)).Run(newRosen())
+	seen := map[string]bool{}
+	for _, rec := range res.Records {
+		if seen[rec.Config.Key()] {
+			t.Fatal("duplicate evaluation spent budget")
+		}
+		seen[rec.Config.Key()] = true
+	}
+}
+
+func TestBanditShiftsBudgetTowardProductiveArms(t *testing.T) {
+	_, pulls := New(Options{NMax: 150}, rng.New(13)).Run(newRosen())
+	// No arm should monopolize everything, and no arm should starve
+	// completely (UCB explores).
+	for name, n := range pulls {
+		if n == 0 {
+			t.Fatalf("technique %s starved", name)
+		}
+	}
+}
+
+func TestTunerOnHPL(t *testing.T) {
+	// The paper's actual use: tune HPL through the ensemble.
+	p := miniapps.NewProblem(miniapps.HPL(), machine.Sandybridge)
+	res, _ := New(Options{NMax: 60}, rng.New(17)).Run(p)
+	if len(res.Records) != 60 {
+		t.Fatalf("evaluated %d", len(res.Records))
+	}
+	best, _, _ := res.Best()
+	traj := res.BestSoFar()
+	if best.RunTime >= traj[0] && traj[0] == traj[len(traj)-1] {
+		t.Fatal("tuner made no progress on HPL")
+	}
+}
+
+func TestElapsedMonotone(t *testing.T) {
+	res, _ := New(Options{NMax: 50}, rng.New(19)).Run(newRosen())
+	prev := 0.0
+	for _, rec := range res.Records {
+		if rec.Elapsed <= prev {
+			t.Fatal("elapsed clock not increasing")
+		}
+		prev = rec.Elapsed
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	tun := New(Options{NMax: 30}, rng.New(23))
+	tun.Run(newRosen())
+	s := tun.String()
+	for _, want := range []string{"SA", "GA", "PS", "RAND", "pulls"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCustomEnsemble(t *testing.T) {
+	p := newRosen()
+	tun := New(Options{NMax: 40}, rng.New(29),
+		search.NewRandomTechnique(p.Space(), rng.New(30)))
+	res, pulls := tun.Run(p)
+	if len(pulls) != 1 || len(res.Records) != 40 {
+		t.Fatalf("custom single-technique ensemble wrong: %v, %d records", pulls, len(res.Records))
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.NMax != 100 || o.ExplorationC != 1.4 || o.Window != 30 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}

@@ -1,0 +1,96 @@
+package search
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/space"
+)
+
+// Dataset I/O: T_a is stored as CSV with a header of parameter names, one
+// configuration per row (level values), and a final run_time column. The
+// header is validated against the space on load, so a dataset collected
+// for one kernel cannot silently be applied to another.
+
+// SaveCSV writes the dataset for the given space.
+func (d Dataset) SaveCSV(w io.Writer, spc *space.Space) error {
+	bw := bufio.NewWriter(w)
+	cols := append(append([]string{}, spc.Names()...), "run_time")
+	if _, err := bw.WriteString(strings.Join(cols, ",") + "\n"); err != nil {
+		return err
+	}
+	for i, s := range d {
+		if err := spc.Validate(s.Config); err != nil {
+			return fmt.Errorf("search: row %d: %w", i, err)
+		}
+		parts := make([]string, 0, len(s.Config)+1)
+		for _, lv := range s.Config {
+			parts = append(parts, strconv.Itoa(lv))
+		}
+		parts = append(parts, strconv.FormatFloat(s.RunTime, 'g', -1, 64))
+		if _, err := bw.WriteString(strings.Join(parts, ",") + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCSV reads a dataset saved by SaveCSV, checking the header against
+// the space's parameter names and every row against its level ranges.
+func LoadCSV(r io.Reader, spc *space.Space) (Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("search: empty dataset")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	want := append(append([]string{}, spc.Names()...), "run_time")
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("search: header has %d columns, space needs %d", len(header), len(want))
+	}
+	for i := range want {
+		if header[i] != want[i] {
+			return nil, fmt.Errorf("search: header column %d is %q, want %q", i, header[i], want[i])
+		}
+	}
+
+	var ds Dataset
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != len(want) {
+			return nil, fmt.Errorf("search: line %d has %d columns, want %d", lineNo, len(parts), len(want))
+		}
+		c := make(space.Config, spc.NumParams())
+		for i := 0; i < spc.NumParams(); i++ {
+			lv, err := strconv.Atoi(parts[i])
+			if err != nil {
+				return nil, fmt.Errorf("search: line %d column %d: %v", lineNo, i, err)
+			}
+			c[i] = lv
+		}
+		if err := spc.Validate(c); err != nil {
+			return nil, fmt.Errorf("search: line %d: %w", lineNo, err)
+		}
+		y, err := strconv.ParseFloat(parts[len(parts)-1], 64)
+		if err != nil || y < 0 {
+			return nil, fmt.Errorf("search: line %d: bad run time %q", lineNo, parts[len(parts)-1])
+		}
+		ds = append(ds, Sample{Config: c, RunTime: y})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("search: dataset has a header but no rows")
+	}
+	return ds, nil
+}

@@ -1,0 +1,88 @@
+package search
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+func ioSpace() *space.Space {
+	return space.New(
+		space.NewIntRange("u", 1, 8),
+		space.NewPowerOfTwo("t", 0, 4),
+		space.NewBoolean("scr"),
+	)
+}
+
+func TestDatasetCSVRoundtrip(t *testing.T) {
+	spc := ioSpace()
+	r := rng.New(1)
+	var ds Dataset
+	for i := 0; i < 40; i++ {
+		ds = append(ds, Sample{Config: spc.Random(r), RunTime: 1 + r.Float64()*10})
+	}
+	var buf strings.Builder
+	if err := ds.SaveCSV(&buf, spc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(strings.NewReader(buf.String()), spc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("row count %d vs %d", len(got), len(ds))
+	}
+	for i := range ds {
+		if got[i].Config.Key() != ds[i].Config.Key() || got[i].RunTime != ds[i].RunTime {
+			t.Fatalf("row %d changed: %v/%v vs %v/%v", i,
+				got[i].Config, got[i].RunTime, ds[i].Config, ds[i].RunTime)
+		}
+	}
+	if !strings.HasPrefix(buf.String(), "u,t,scr,run_time\n") {
+		t.Fatalf("header wrong: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+func TestLoadCSVValidation(t *testing.T) {
+	spc := ioSpace()
+	cases := map[string]string{
+		"empty":          "",
+		"header only":    "u,t,scr,run_time\n",
+		"wrong header":   "a,b,c,run_time\n0,0,0,1\n",
+		"short header":   "u,t,run_time\n0,0,1\n",
+		"short row":      "u,t,scr,run_time\n0,0,1\n",
+		"bad level":      "u,t,scr,run_time\n99,0,0,1\n",
+		"negative level": "u,t,scr,run_time\n-1,0,0,1\n",
+		"bad float":      "u,t,scr,run_time\n0,0,0,abc\n",
+		"negative time":  "u,t,scr,run_time\n0,0,0,-5\n",
+		"non-int level":  "u,t,scr,run_time\n1.5,0,0,1\n",
+	}
+	for name, doc := range cases {
+		if _, err := LoadCSV(strings.NewReader(doc), spc); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadCSVSkipsBlankLines(t *testing.T) {
+	spc := ioSpace()
+	doc := "u,t,scr,run_time\n0,0,0,1.5\n\n1,2,1,2.5\n"
+	ds, err := LoadCSV(strings.NewReader(doc), spc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("rows = %d", len(ds))
+	}
+}
+
+func TestSaveCSVRejectsInvalidConfig(t *testing.T) {
+	spc := ioSpace()
+	ds := Dataset{{Config: space.Config{99, 0, 0}, RunTime: 1}}
+	var buf strings.Builder
+	if err := ds.SaveCSV(&buf, spc); err == nil {
+		t.Fatal("invalid config saved")
+	}
+}

@@ -1,0 +1,325 @@
+package search
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// Technique is an incremental search heuristic: it proposes
+// configurations and receives the measured run times back. The
+// Propose/Report protocol lets a meta-tuner (internal/opentuner)
+// interleave several techniques on one evaluation budget, which is how
+// OpenTuner structures its ensembles.
+type Technique interface {
+	Name() string
+	// Propose returns the next configuration to evaluate; ok=false means
+	// the technique has nothing more to try.
+	Propose() (space.Config, bool)
+	// Report feeds back the observed run time for a proposed config.
+	Report(c space.Config, runTime float64)
+}
+
+// Drive runs a single technique against a problem for nmax evaluations,
+// skipping configurations that were already evaluated.
+func Drive(p Problem, t Technique, nmax int) *Result {
+	run := newRunner(p, t.Name())
+	seen := map[string]float64{}
+	misses := 0
+	for len(run.res.Records) < nmax && misses < 50*nmax {
+		c, ok := t.Propose()
+		if !ok {
+			break
+		}
+		if cached, dup := seen[c.Key()]; dup {
+			// Feed the cached measurement back so the technique still
+			// advances its internal state, without spending budget.
+			misses++
+			t.Report(c, cached)
+			continue
+		}
+		rec := run.evaluate(c)
+		seen[c.Key()] = rec.RunTime
+		t.Report(c, rec.RunTime)
+	}
+	return run.res
+}
+
+// ---------------------------------------------------------------------------
+
+// Anneal is simulated annealing over the configuration space: propose a
+// random neighbor of the current point and accept by the Metropolis rule
+// under a geometric cooling schedule.
+type Anneal struct {
+	spc     *space.Space
+	r       *rng.RNG
+	cur     space.Config
+	curTime float64
+	started bool
+	temp    float64
+	cooling float64
+	pending space.Config
+	start   space.Config
+}
+
+// NewAnneal returns a simulated-annealing technique. temp0 is the initial
+// temperature as a fraction of the first observed run time; cooling is
+// the per-step multiplier (e.g. 0.95).
+func NewAnneal(spc *space.Space, r *rng.RNG, cooling float64) *Anneal {
+	if cooling <= 0 || cooling >= 1 {
+		cooling = 0.95
+	}
+	return &Anneal{spc: spc, r: r, cooling: cooling, temp: -1}
+}
+
+// Name implements Technique.
+func (a *Anneal) Name() string { return "SA" }
+
+// SetStart seeds the annealer's first proposal (a warm start, e.g. from
+// a surrogate model's predicted best — the paper's future-work direction
+// of combining transfer with more sophisticated search).
+func (a *Anneal) SetStart(c space.Config) { a.start = c.Clone() }
+
+// Propose implements Technique.
+func (a *Anneal) Propose() (space.Config, bool) {
+	if !a.started {
+		if a.start != nil {
+			a.pending = a.start
+		} else {
+			a.pending = a.spc.Random(a.r)
+		}
+	} else {
+		a.pending = a.neighbor(a.cur)
+	}
+	return a.pending, true
+}
+
+// neighbor perturbs one parameter by one level (wrapping at the ends
+// would bias toward boundaries, so it clamps instead).
+func (a *Anneal) neighbor(c space.Config) space.Config {
+	n := c.Clone()
+	i := a.r.Intn(a.spc.NumParams())
+	levels := a.spc.Param(i).Levels()
+	if levels == 1 {
+		return n
+	}
+	step := 1
+	if a.r.Float64() < 0.3 {
+		step = 1 + a.r.Intn(3) // occasional longer jumps
+	}
+	if a.r.Float64() < 0.5 {
+		step = -step
+	}
+	v := n[i] + step
+	if v < 0 {
+		v = 0
+	}
+	if v >= levels {
+		v = levels - 1
+	}
+	n[i] = v
+	return n
+}
+
+// Report implements Technique.
+func (a *Anneal) Report(c space.Config, runTime float64) {
+	if !a.started {
+		a.cur = c.Clone()
+		a.curTime = runTime
+		a.temp = runTime * 0.3
+		a.started = true
+		return
+	}
+	accept := runTime < a.curTime
+	if !accept && a.temp > 0 {
+		accept = a.r.Float64() < math.Exp(-(runTime-a.curTime)/a.temp)
+	}
+	if accept {
+		a.cur = c.Clone()
+		a.curTime = runTime
+	}
+	a.temp *= a.cooling
+}
+
+// ---------------------------------------------------------------------------
+
+// Genetic is a steady-state genetic algorithm: tournament selection,
+// uniform crossover, per-gene mutation, replace-worst insertion.
+type Genetic struct {
+	spc      *space.Space
+	r        *rng.RNG
+	popSize  int
+	mutation float64
+	pop      []gaMember
+}
+
+type gaMember struct {
+	c       space.Config
+	runTime float64
+}
+
+// NewGenetic returns a genetic-algorithm technique.
+func NewGenetic(spc *space.Space, r *rng.RNG, popSize int, mutation float64) *Genetic {
+	if popSize < 4 {
+		popSize = 16
+	}
+	if mutation <= 0 || mutation >= 1 {
+		mutation = 0.15
+	}
+	return &Genetic{spc: spc, r: r, popSize: popSize, mutation: mutation}
+}
+
+// Name implements Technique.
+func (g *Genetic) Name() string { return "GA" }
+
+// Propose implements Technique.
+func (g *Genetic) Propose() (space.Config, bool) {
+	if len(g.pop) < g.popSize {
+		return g.spc.Random(g.r), true
+	}
+	p1 := g.tournament()
+	p2 := g.tournament()
+	child := make(space.Config, g.spc.NumParams())
+	for i := range child {
+		if g.r.Float64() < 0.5 {
+			child[i] = p1.c[i]
+		} else {
+			child[i] = p2.c[i]
+		}
+		if g.r.Float64() < g.mutation {
+			child[i] = g.r.Intn(g.spc.Param(i).Levels())
+		}
+	}
+	return child, true
+}
+
+func (g *Genetic) tournament() gaMember {
+	best := g.pop[g.r.Intn(len(g.pop))]
+	for i := 0; i < 2; i++ {
+		c := g.pop[g.r.Intn(len(g.pop))]
+		if c.runTime < best.runTime {
+			best = c
+		}
+	}
+	return best
+}
+
+// Report implements Technique.
+func (g *Genetic) Report(c space.Config, runTime float64) {
+	m := gaMember{c: c.Clone(), runTime: runTime}
+	if len(g.pop) < g.popSize {
+		g.pop = append(g.pop, m)
+		return
+	}
+	worst := 0
+	for i := range g.pop {
+		if g.pop[i].runTime > g.pop[worst].runTime {
+			worst = i
+		}
+	}
+	if m.runTime < g.pop[worst].runTime {
+		g.pop[worst] = m
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// Pattern is coordinate pattern search (generalized pattern search on the
+// level grid): poll +/- step along each parameter from the incumbent;
+// move on success, halve the step on a full failed sweep.
+type Pattern struct {
+	spc     *space.Space
+	r       *rng.RNG
+	cur     space.Config
+	curTime float64
+	started bool
+	step    int
+	dim     int
+	sign    int
+	failed  int
+}
+
+// NewPattern returns a pattern-search technique with the given initial
+// step in levels.
+func NewPattern(spc *space.Space, r *rng.RNG, step int) *Pattern {
+	if step < 1 {
+		step = 4
+	}
+	return &Pattern{spc: spc, r: r, step: step, sign: 1}
+}
+
+// Name implements Technique.
+func (p *Pattern) Name() string { return "PS" }
+
+// Propose implements Technique.
+func (p *Pattern) Propose() (space.Config, bool) {
+	if !p.started {
+		return p.spc.Random(p.r), true
+	}
+	if p.step < 1 {
+		return nil, false
+	}
+	c := p.cur.Clone()
+	levels := p.spc.Param(p.dim).Levels()
+	v := c[p.dim] + p.sign*p.step
+	if v < 0 {
+		v = 0
+	}
+	if v >= levels {
+		v = levels - 1
+	}
+	c[p.dim] = v
+	return c, true
+}
+
+// Report implements Technique.
+func (p *Pattern) Report(c space.Config, runTime float64) {
+	if !p.started {
+		p.cur = c.Clone()
+		p.curTime = runTime
+		p.started = true
+		return
+	}
+	if runTime < p.curTime {
+		p.cur = c.Clone()
+		p.curTime = runTime
+		p.failed = 0
+	} else {
+		p.failed++
+	}
+	// Advance the poll pattern: -> +dim, -dim, +dim+1, ...
+	if p.sign == 1 {
+		p.sign = -1
+	} else {
+		p.sign = 1
+		p.dim = (p.dim + 1) % p.spc.NumParams()
+	}
+	if p.failed >= 2*p.spc.NumParams() {
+		p.step /= 2
+		p.failed = 0
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// RandomTechnique wraps uniform random sampling as a Technique so it can
+// compete inside a meta-tuner ensemble.
+type RandomTechnique struct {
+	spc *space.Space
+	r   *rng.RNG
+}
+
+// NewRandomTechnique returns the random-sampling technique.
+func NewRandomTechnique(spc *space.Space, r *rng.RNG) *RandomTechnique {
+	return &RandomTechnique{spc: spc, r: r}
+}
+
+// Name implements Technique.
+func (t *RandomTechnique) Name() string { return "RAND" }
+
+// Propose implements Technique.
+func (t *RandomTechnique) Propose() (space.Config, bool) { return t.spc.Random(t.r), true }
+
+// Report implements Technique.
+func (t *RandomTechnique) Report(space.Config, float64) {}

@@ -1,0 +1,231 @@
+package search
+
+import (
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+// Model predicts the run time of an encoded configuration. A fitted
+// *forest.Forest satisfies it.
+type Model interface {
+	Predict(x []float64) float64
+}
+
+// RSpOptions configures random search with the pruning strategy
+// (Algorithm 1).
+type RSpOptions struct {
+	// NMax is the evaluation budget (paper: 100).
+	NMax int
+	// PoolSize is N, the number of random configurations whose predicted
+	// run times define the cutoff (paper: 10,000).
+	PoolSize int
+	// DeltaPct is the cutoff quantile percentage 0 < delta < 100
+	// (paper: 20).
+	DeltaPct float64
+	// MaxConsidered bounds how many candidates may be examined in total,
+	// evaluated or skipped (default 100*NMax), so an over-aggressive
+	// cutoff cannot loop forever.
+	MaxConsidered int
+}
+
+func (o RSpOptions) withDefaults() RSpOptions {
+	if o.NMax <= 0 {
+		o.NMax = 100
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 10000
+	}
+	if o.DeltaPct <= 0 || o.DeltaPct >= 100 {
+		o.DeltaPct = 20
+	}
+	if o.MaxConsidered <= 0 {
+		o.MaxConsidered = 100 * o.NMax
+	}
+	return o
+}
+
+// RSp is random search with the pruning strategy (Algorithm 1): sample
+// configurations uniformly at random without replacement, predict each
+// with the surrogate model m (fit on another machine's data), and
+// evaluate only those whose prediction beats the delta-quantile cutoff
+// computed over a fresh random pool.
+//
+// The candidate stream is drawn from r, so seeding r identically to a
+// plain RS run makes RSp consider the same configurations in the same
+// order and merely skip some — the paper's common-random-numbers setup.
+// The pool is drawn from poolR.
+func RSp(p Problem, m Model, opt RSpOptions, r, poolR *rng.RNG) *Result {
+	opt = opt.withDefaults()
+	spc := p.Space()
+	run := newRunner(p, "RSp")
+
+	pool := spc.SamplePool(opt.PoolSize, poolR)
+	preds := make([]float64, len(pool))
+	for i, c := range pool {
+		preds[i] = m.Predict(spc.Encode(c))
+	}
+	cutoff := stats.Quantile(preds, opt.DeltaPct/100)
+
+	sampler := space.NewSampler(spc, r)
+	considered := 0
+	for len(run.res.Records) < opt.NMax && considered < opt.MaxConsidered {
+		c, ok := sampler.Next()
+		if !ok {
+			break
+		}
+		considered++
+		if m.Predict(spc.Encode(c)) < cutoff {
+			run.evaluate(c)
+		} else {
+			run.res.Skipped++
+		}
+	}
+	return run.res
+}
+
+// RSbOptions configures random search with the biasing strategy
+// (Algorithm 2).
+type RSbOptions struct {
+	// NMax is the evaluation budget (paper: 100).
+	NMax int
+	// PoolSize is N, the candidate pool size (paper: 10,000).
+	PoolSize int
+}
+
+func (o RSbOptions) withDefaults() RSbOptions {
+	if o.NMax <= 0 {
+		o.NMax = 100
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 10000
+	}
+	return o
+}
+
+// RSb is random search with the biasing strategy (Algorithm 2): draw a
+// pool of PoolSize random configurations, then repeatedly evaluate the
+// pool configuration with the smallest predicted run time, removing it
+// from the pool.
+func RSb(p Problem, m Model, opt RSbOptions, poolR *rng.RNG) *Result {
+	opt = opt.withDefaults()
+	spc := p.Space()
+	run := newRunner(p, "RSb")
+
+	pool := spc.SamplePool(opt.PoolSize, poolR)
+	type scored struct {
+		c    space.Config
+		pred float64
+	}
+	scoredPool := make([]scored, len(pool))
+	for i, c := range pool {
+		scoredPool[i] = scored{c: c, pred: m.Predict(spc.Encode(c))}
+	}
+	// Evaluating in ascending predicted order is equivalent to repeatedly
+	// taking the argmin and removing it (the model is fixed).
+	sort.SliceStable(scoredPool, func(a, b int) bool {
+		return scoredPool[a].pred < scoredPool[b].pred
+	})
+	for i := 0; i < len(scoredPool) && len(run.res.Records) < opt.NMax; i++ {
+		run.evaluate(scoredPool[i].c)
+	}
+	return run.res
+}
+
+// RSpf is the model-free pruning control: it computes the cutoff from the
+// source machine's measured run times and replays the source
+// configurations in their original order, skipping those whose *source*
+// run time missed the cutoff. The search is therefore restricted to the
+// configurations of Ta.
+func RSpf(p Problem, ta Dataset, deltaPct float64) *Result {
+	if deltaPct <= 0 || deltaPct >= 100 {
+		deltaPct = 20
+	}
+	run := newRunner(p, "RSpf")
+	ys := make([]float64, len(ta))
+	for i, s := range ta {
+		ys[i] = s.RunTime
+	}
+	cutoff := stats.Quantile(ys, deltaPct/100)
+	for _, s := range ta {
+		if s.RunTime < cutoff {
+			run.evaluate(s.Config)
+		} else {
+			run.res.Skipped++
+		}
+	}
+	return run.res
+}
+
+// RSbf is the model-free biasing control: it sorts Ta ascending by the
+// source run times and evaluates the configurations in that order.
+func RSbf(p Problem, ta Dataset) *Result {
+	run := newRunner(p, "RSbf")
+	order := make([]int, len(ta))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return ta[order[a]].RunTime < ta[order[b]].RunTime
+	})
+	for _, i := range order {
+		run.evaluate(ta[i].Config)
+	}
+	return run.res
+}
+
+// RSbA is the active-learning refinement of the biasing strategy
+// (following the surrogate-refinement idea of Balaprakash et al., cited
+// as the basis for the paper's model choice): the search starts from the
+// source-trained model and periodically refits it on the union of the
+// source data and the target observations gathered so far, so the
+// surrogate adapts to the target machine during the search.
+//
+// refit is called with the combined dataset and must return the new
+// model; refitEvery controls the cadence (default: every 10
+// evaluations).
+func RSbA(p Problem, initial Model, ta Dataset, opt RSbOptions, refitEvery int,
+	refit func(Dataset) (Model, error), poolR *rng.RNG) (*Result, error) {
+
+	opt = opt.withDefaults()
+	if refitEvery <= 0 {
+		refitEvery = 10
+	}
+	spc := p.Space()
+	run := newRunner(p, "RSbA")
+
+	pool := spc.SamplePool(opt.PoolSize, poolR)
+	remaining := make([]space.Config, len(pool))
+	copy(remaining, pool)
+
+	model := initial
+	observed := append(Dataset{}, ta...)
+
+	for len(run.res.Records) < opt.NMax && len(remaining) > 0 {
+		// Pick the argmin-predicted configuration from the remaining pool.
+		best := 0
+		bestPred := model.Predict(spc.Encode(remaining[0]))
+		for i := 1; i < len(remaining); i++ {
+			if pred := model.Predict(spc.Encode(remaining[i])); pred < bestPred {
+				best, bestPred = i, pred
+			}
+		}
+		c := remaining[best]
+		remaining[best] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+
+		rec := run.evaluate(c)
+		observed = append(observed, Sample{Config: rec.Config, RunTime: rec.RunTime})
+
+		if len(run.res.Records)%refitEvery == 0 {
+			m, err := refit(observed)
+			if err != nil {
+				return nil, err
+			}
+			model = m
+		}
+	}
+	return run.res, nil
+}

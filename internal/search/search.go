@@ -1,0 +1,213 @@
+// Package search implements the search algorithms of the paper: random
+// search without replacement (RS), the model-based pruning and biasing
+// variants RSp and RSb (Algorithms 1 and 2), their model-free controls
+// RSpf and RSbf, and — for the paper's future-work extension — simulated
+// annealing, a genetic algorithm, and pattern search.
+//
+// All algorithms consume the Problem interface and produce a Result whose
+// per-evaluation records carry the cumulative search clock, so the
+// performance and search-time speedups of Section IV-D can be computed
+// afterwards. Randomness comes exclusively from injected rng streams: two
+// algorithms given samplers with the same seed draw identical candidate
+// sequences, which implements the paper's common-random-numbers setup.
+package search
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// Problem is an autotuning search problem: a configuration space plus an
+// evaluator. Evaluate returns the measured run time of the configuration
+// and the total cost charged to the search clock (compile + run).
+type Problem interface {
+	Name() string
+	Space() *space.Space
+	Evaluate(c space.Config) (runTime, cost float64)
+}
+
+// Record is one evaluated configuration, in evaluation order.
+type Record struct {
+	Config  space.Config
+	RunTime float64
+	Cost    float64
+	// Elapsed is the cumulative search clock after this evaluation.
+	Elapsed float64
+}
+
+// Result is the outcome of one search run.
+type Result struct {
+	Algorithm string
+	Problem   string
+	Records   []Record
+	// Skipped counts configurations considered but not evaluated
+	// (pruning strategies).
+	Skipped int
+}
+
+// Best returns the record with the minimum run time and its index.
+// It returns ok=false for an empty result.
+func (r *Result) Best() (Record, int, bool) {
+	if len(r.Records) == 0 {
+		return Record{}, 0, false
+	}
+	best := 0
+	for i, rec := range r.Records {
+		if rec.RunTime < r.Records[best].RunTime {
+			best = i
+		}
+	}
+	return r.Records[best], best, true
+}
+
+// Elapsed returns the total search clock.
+func (r *Result) Elapsed() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	return r.Records[len(r.Records)-1].Elapsed
+}
+
+// TimeToReach returns the search clock at which the search first found a
+// configuration with run time <= target, and whether it ever did.
+func (r *Result) TimeToReach(target float64) (float64, bool) {
+	for _, rec := range r.Records {
+		if rec.RunTime <= target {
+			return rec.Elapsed, true
+		}
+	}
+	return 0, false
+}
+
+// BestSoFar returns the running minimum run time after each evaluation
+// (the best-found trajectory plotted in Figures 3–5).
+func (r *Result) BestSoFar() []float64 {
+	out := make([]float64, len(r.Records))
+	best := math.Inf(1)
+	for i, rec := range r.Records {
+		if rec.RunTime < best {
+			best = rec.RunTime
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Dataset is a set of (configuration, run time) pairs collected on some
+// machine — the paper's T_a.
+type Dataset []Sample
+
+// Sample is one element of a Dataset.
+type Sample struct {
+	Config  space.Config
+	RunTime float64
+}
+
+// DatasetFrom extracts the training set T_a from a search result.
+func DatasetFrom(res *Result) Dataset {
+	ds := make(Dataset, len(res.Records))
+	for i, rec := range res.Records {
+		ds[i] = Sample{Config: rec.Config, RunTime: rec.RunTime}
+	}
+	return ds
+}
+
+// Encode converts the dataset into a feature matrix and target vector for
+// model fitting under the space's encoding.
+func (d Dataset) Encode(s *space.Space) (X [][]float64, y []float64) {
+	X = make([][]float64, len(d))
+	y = make([]float64, len(d))
+	for i, smp := range d {
+		X[i] = s.Encode(smp.Config)
+		y[i] = smp.RunTime
+	}
+	return X, y
+}
+
+// runner accumulates evaluations into a Result.
+type runner struct {
+	p   Problem
+	res *Result
+}
+
+func newRunner(p Problem, algorithm string) *runner {
+	return &runner{p: p, res: &Result{Algorithm: algorithm, Problem: p.Name()}}
+}
+
+func (r *runner) evaluate(c space.Config) Record {
+	run, cost := r.p.Evaluate(c)
+	rec := Record{Config: c.Clone(), RunTime: run, Cost: cost, Elapsed: r.elapsed() + cost}
+	r.res.Records = append(r.res.Records, rec)
+	return rec
+}
+
+func (r *runner) elapsed() float64 {
+	if n := len(r.res.Records); n > 0 {
+		return r.res.Records[n-1].Elapsed
+	}
+	return 0
+}
+
+// RS runs random search without replacement for nmax evaluations (fewer
+// if the space is exhausted). At iteration k every unevaluated
+// configuration is equally likely to be drawn.
+func RS(p Problem, nmax int, r *rng.RNG) *Result {
+	run := newRunner(p, "RS")
+	sampler := space.NewSampler(p.Space(), r)
+	for len(run.res.Records) < nmax {
+		c, ok := sampler.Next()
+		if !ok {
+			break
+		}
+		run.evaluate(c)
+	}
+	return run.res
+}
+
+// Replay evaluates exactly the given configurations in order — used for
+// common-random-numbers comparisons and the model-free variants.
+func Replay(p Problem, seq []space.Config, algorithm string) *Result {
+	run := newRunner(p, algorithm)
+	for _, c := range seq {
+		run.evaluate(c)
+	}
+	return run.res
+}
+
+// Sequence returns the first n configurations an RS run with this stream
+// would evaluate. Two calls with identically-seeded streams return the
+// same sequence.
+func Sequence(s *space.Space, n int, r *rng.RNG) []space.Config {
+	sampler := space.NewSampler(s, r)
+	out := make([]space.Config, 0, n)
+	for len(out) < n {
+		c, ok := sampler.Next()
+		if !ok {
+			break
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// SampleBestOverTime returns the best-found run time at each of the
+// given search-clock instants (the paper's figures plot best-so-far
+// against elapsed search time, not evaluation count). Instants before
+// the first evaluation completes yield +Inf.
+func (r *Result) SampleBestOverTime(grid []float64) []float64 {
+	out := make([]float64, len(grid))
+	best := math.Inf(1)
+	rec := 0
+	for i, t := range grid {
+		for rec < len(r.Records) && r.Records[rec].Elapsed <= t {
+			if r.Records[rec].RunTime < best {
+				best = r.Records[rec].RunTime
+			}
+			rec++
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,377 @@
+package space
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func smallSpace() *Space {
+	return New(
+		NewIntRange("u", 1, 4),
+		NewPowerOfTwo("t", 0, 3),
+		NewBoolean("omp"),
+		NewCategorical("bcast", "ring", "tree", "2ring"),
+	)
+}
+
+func TestParamConstructors(t *testing.T) {
+	p := NewIntRange("u", 1, 32)
+	if p.Levels() != 32 || p.Value(0) != 1 || p.Value(31) != 32 {
+		t.Fatalf("IntRange wrong: levels=%d first=%d last=%d", p.Levels(), p.Value(0), p.Value(31))
+	}
+	q := NewPowerOfTwo("t", 0, 11)
+	if q.Levels() != 12 || q.Value(0) != 1 || q.Value(11) != 2048 {
+		t.Fatalf("PowerOfTwo wrong: levels=%d", q.Levels())
+	}
+	b := NewBoolean("f")
+	if b.Levels() != 2 || b.Value(0) != 0 || b.Value(1) != 1 {
+		t.Fatal("Boolean wrong")
+	}
+	c := NewCategorical("algo", "a", "b")
+	if c.Levels() != 2 || c.Label(1) != "b" {
+		t.Fatal("Categorical wrong")
+	}
+	e := NewExplicit("nb", 32, 64, 128, 256)
+	if e.Levels() != 4 || e.Value(2) != 128 {
+		t.Fatal("Explicit wrong")
+	}
+}
+
+func TestParamLevelOf(t *testing.T) {
+	p := NewPowerOfTwo("t", 0, 5)
+	if p.LevelOf(8) != 3 {
+		t.Fatalf("LevelOf(8) = %d, want 3", p.LevelOf(8))
+	}
+	if p.LevelOf(7) != -1 {
+		t.Fatal("LevelOf of absent value should be -1")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate parameter names should panic")
+		}
+	}()
+	New(NewBoolean("x"), NewBoolean("x"))
+}
+
+func TestSpaceSize(t *testing.T) {
+	s := smallSpace()
+	if s.Size() != 4*4*2*3 {
+		t.Fatalf("size = %v, want 96", s.Size())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := smallSpace()
+	if err := s.Validate(Config{0, 0, 0, 0}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := s.Validate(Config{0, 0, 0}); err == nil {
+		t.Fatal("short config accepted")
+	}
+	if err := s.Validate(Config{0, 0, 0, 5}); err == nil {
+		t.Fatal("out-of-range level accepted")
+	}
+	if err := s.Validate(Config{0, 0, 0, -1}); err == nil {
+		t.Fatal("negative level accepted")
+	}
+}
+
+func TestValuesAndLookup(t *testing.T) {
+	s := smallSpace()
+	c := Config{2, 3, 1, 0}
+	vals := s.Values(c)
+	want := []int{3, 8, 1, 0}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", vals, want)
+		}
+	}
+	if v := s.MustValue(c, "t"); v != 8 {
+		t.Fatalf("MustValue(t) = %d, want 8", v)
+	}
+	if _, ok := s.Value(c, "missing"); ok {
+		t.Fatal("lookup of missing parameter succeeded")
+	}
+}
+
+func TestEncodeLogScaleForPow2(t *testing.T) {
+	s := smallSpace()
+	c := Config{1, 3, 1, 2}
+	f := s.Encode(c)
+	if f[0] != 2 { // u level 1 -> value 2
+		t.Fatalf("int feature = %v", f[0])
+	}
+	if f[1] != 3 { // t level 3 -> value 8 -> log2 = 3
+		t.Fatalf("pow2 feature = %v, want log2(8)=3", f[1])
+	}
+	if f[2] != 1 {
+		t.Fatalf("bool feature = %v", f[2])
+	}
+	if f[3] != 2 { // categorical encodes as level index
+		t.Fatalf("cat feature = %v", f[3])
+	}
+	names := s.FeatureNames()
+	if names[1] != "log2_t" || names[0] != "u" {
+		t.Fatalf("feature names = %v", names)
+	}
+}
+
+func TestConfigKeyUniqueness(t *testing.T) {
+	a := Config{1, 2, 3}
+	b := Config{1, 23}
+	if a.Key() == b.Key() {
+		t.Fatal("distinct configs share a key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Fatal("clone changed the key")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := smallSpace()
+	got := s.String(Config{0, 0, 1, 1})
+	want := "u=1 t=1 omp=on bcast=tree"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestRandomConfigsValidProperty(t *testing.T) {
+	s := smallSpace()
+	r := rng.New(1)
+	f := func(uint8) bool {
+		c := s.Random(r)
+		return s.Validate(c) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplerNoRepeats(t *testing.T) {
+	s := smallSpace()
+	sm := NewSampler(s, rng.New(2))
+	seen := make(map[string]bool)
+	count := 0
+	for {
+		c, ok := sm.Next()
+		if !ok {
+			break
+		}
+		k := c.Key()
+		if seen[k] {
+			t.Fatalf("sampler repeated config %s", k)
+		}
+		seen[k] = true
+		count++
+	}
+	if count != int(s.Size()) {
+		t.Fatalf("sampler exhausted after %d draws, space has %v", count, s.Size())
+	}
+}
+
+func TestSamplerExcludeRespected(t *testing.T) {
+	s := New(NewIntRange("a", 0, 3))
+	sm := NewSampler(s, rng.New(3))
+	sm.Exclude(Config{2})
+	for {
+		c, ok := sm.Next()
+		if !ok {
+			break
+		}
+		if c[0] == 2 {
+			t.Fatal("excluded config was sampled")
+		}
+	}
+}
+
+func TestSamplerUniformFirstDraw(t *testing.T) {
+	s := New(NewIntRange("a", 0, 9))
+	counts := make([]int, 10)
+	for seed := uint64(0); seed < 20000; seed++ {
+		sm := NewSampler(s, rng.New(seed))
+		c, _ := sm.Next()
+		counts[c[0]]++
+	}
+	for v, c := range counts {
+		if c < 1700 || c > 2300 {
+			t.Fatalf("first draw not uniform: value %d count %d", v, c)
+		}
+	}
+}
+
+func TestSamplePoolDistinct(t *testing.T) {
+	s := smallSpace()
+	pool := s.SamplePool(50, rng.New(4))
+	if len(pool) != 50 {
+		t.Fatalf("pool size = %d", len(pool))
+	}
+	seen := make(map[string]bool)
+	for _, c := range pool {
+		if seen[c.Key()] {
+			t.Fatal("pool has duplicates")
+		}
+		seen[c.Key()] = true
+	}
+}
+
+func TestSamplePoolLargerThanSpace(t *testing.T) {
+	s := New(NewBoolean("a"), NewBoolean("b"))
+	pool := s.SamplePool(100, rng.New(5))
+	if len(pool) != 4 {
+		t.Fatalf("pool over tiny space = %d configs, want 4", len(pool))
+	}
+}
+
+func TestEnumerateCoversSpace(t *testing.T) {
+	s := smallSpace()
+	all := s.Enumerate()
+	if len(all) != int(s.Size()) {
+		t.Fatalf("Enumerate returned %d configs, want %v", len(all), s.Size())
+	}
+	seen := make(map[string]bool)
+	for _, c := range all {
+		if s.Validate(c) != nil || seen[c.Key()] {
+			t.Fatal("Enumerate produced invalid or duplicate config")
+		}
+		seen[c.Key()] = true
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	s := New(NewIntRange("a", 0, 2), NewIntRange("b", 0, 2))
+	// Corner config has 2 neighbors, center has 4.
+	if n := s.Neighbors(Config{0, 0}); len(n) != 2 {
+		t.Fatalf("corner neighbors = %d, want 2", len(n))
+	}
+	if n := s.Neighbors(Config{1, 1}); len(n) != 4 {
+		t.Fatalf("center neighbors = %d, want 4", len(n))
+	}
+	for _, n := range s.Neighbors(Config{1, 1}) {
+		if s.Validate(n) != nil {
+			t.Fatal("invalid neighbor")
+		}
+		diff := 0
+		if n[0] != 1 {
+			diff++
+		}
+		if n[1] != 1 {
+			diff++
+		}
+		if diff != 1 {
+			t.Fatal("neighbor differs in more than one parameter")
+		}
+	}
+}
+
+func TestDefaultIsUntransformed(t *testing.T) {
+	s := New(NewIntRange("u", 1, 32), NewPowerOfTwo("t", 0, 11))
+	d := s.Default()
+	if s.MustValue(d, "u") != 1 || s.MustValue(d, "t") != 1 {
+		t.Fatal("default config is not the untransformed variant")
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	c := Config{1, 2, 3}
+	if c.Hash("m") != c.Hash("m") {
+		t.Fatal("config hash unstable")
+	}
+	if c.Hash("m") == c.Hash("n") {
+		t.Fatal("config hash ignores tag")
+	}
+}
+
+func TestEncodeRoundtripOrderPreserved(t *testing.T) {
+	// Encoding of ordered params must be strictly increasing in level.
+	s := New(NewIntRange("u", 1, 8), NewPowerOfTwo("t", 0, 5))
+	for pi := 0; pi < s.NumParams(); pi++ {
+		prev := math.Inf(-1)
+		p := s.Param(pi)
+		for lv := 0; lv < p.Levels(); lv++ {
+			c := s.Default()
+			c[pi] = lv
+			f := s.Encode(c)[pi]
+			if f <= prev {
+				t.Fatalf("encoding not monotone for %s at level %d", p.Name, lv)
+			}
+			prev = f
+		}
+	}
+}
+
+func TestIncrementIsExhaustive(t *testing.T) {
+	s := New(NewIntRange("a", 0, 1), NewIntRange("b", 0, 2))
+	c := s.Default()
+	count := 1
+	for s.increment(c) {
+		count++
+	}
+	if count != 6 {
+		t.Fatalf("increment visited %d configs, want 6", count)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{IntRange: "int", PowerOfTwo: "pow2", Boolean: "bool", Categorical: "cat", Kind(9): "Kind(9)"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestNamesAndIndex(t *testing.T) {
+	s := smallSpace()
+	names := s.Names()
+	if len(names) != 4 || names[0] != "u" || names[3] != "bcast" {
+		t.Fatalf("Names = %v", names)
+	}
+	if s.Index("omp") != 2 || s.Index("nope") != -1 {
+		t.Fatal("Index wrong")
+	}
+	sorted := s.SortedNames()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] >= sorted[i] {
+			t.Fatal("SortedNames not sorted")
+		}
+	}
+}
+
+func TestSamplerDrawn(t *testing.T) {
+	s := smallSpace()
+	sm := NewSampler(s, rng.New(9))
+	if sm.Drawn() != 0 {
+		t.Fatal("fresh sampler drawn != 0")
+	}
+	sm.Next()
+	sm.Next()
+	if sm.Drawn() != 2 {
+		t.Fatalf("Drawn = %d", sm.Drawn())
+	}
+}
+
+func TestMustValuePanicsOnUnknown(t *testing.T) {
+	s := smallSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustValue of unknown parameter did not panic")
+		}
+	}()
+	s.MustValue(s.Default(), "ghost")
+}
+
+func TestExplicitParamPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty explicit value list accepted")
+		}
+	}()
+	NewExplicit("x")
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWilcoxonDetectsShift(t *testing.T) {
+	r := rng.New(1)
+	n := 40
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		base := r.NormFloat64()
+		xs[i] = base + 1.0 // consistently larger
+		ys[i] = base + 0.2*r.NormFloat64()
+	}
+	res, err := Wilcoxon(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 0.01 {
+		t.Fatalf("clear shift not detected: p=%v", res.P)
+	}
+	if res.Z <= 0 {
+		t.Fatalf("positive shift should give positive z, got %v", res.Z)
+	}
+}
+
+func TestWilcoxonNullNoEffect(t *testing.T) {
+	// Under the null, p should rarely be tiny. Aggregate over repeats.
+	r := rng.New(2)
+	small := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		n := 30
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		res, err := Wilcoxon(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			small++
+		}
+	}
+	if small > 8 { // expect ~2.5
+		t.Fatalf("null rejected %d/%d times at 0.05", small, trials)
+	}
+}
+
+func TestWilcoxonSymmetry(t *testing.T) {
+	xs := []float64{5, 7, 3, 9, 6, 8, 4, 10, 11, 2, 6.5, 7.5}
+	ys := []float64{4, 6, 5, 7, 5, 9, 3, 8, 9, 3, 5.5, 6.5}
+	a, err := Wilcoxon(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Wilcoxon(ys, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Z+b.Z) > 1e-9 {
+		t.Fatalf("z not antisymmetric: %v vs %v", a.Z, b.Z)
+	}
+	if math.Abs(a.P-b.P) > 1e-9 {
+		t.Fatalf("two-sided p not symmetric: %v vs %v", a.P, b.P)
+	}
+}
+
+func TestWilcoxonErrors(t *testing.T) {
+	if _, err := Wilcoxon(nil, nil); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if _, err := Wilcoxon([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched samples accepted")
+	}
+	if _, err := Wilcoxon([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("all-zero differences accepted")
+	}
+}
+
+func TestWilcoxonDropsZeros(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	ys := []float64{1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	res, err := Wilcoxon(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 11 {
+		t.Fatalf("zero difference not dropped: N=%d", res.N)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if math.Abs(normalCDF(0)-0.5) > 1e-12 {
+		t.Fatal("Phi(0) != 0.5")
+	}
+	if math.Abs(normalCDF(1.96)-0.975) > 1e-3 {
+		t.Fatalf("Phi(1.96) = %v", normalCDF(1.96))
+	}
+}

@@ -1,0 +1,234 @@
+// Package tabulate renders the experiment outputs: ASCII tables in the
+// layout of the paper's Tables IV/V, text scatter plots for the
+// correlation panels of Figures 1 and 3–5, text line plots for the
+// best-found trajectories, and CSV export for external plotting.
+package tabulate
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.headers)
+	total := len(t.headers)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV (RFC-4180 quoting for commas/quotes).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter renders a text scatter plot of the paired points (x, y) in a
+// width x height character grid with simple linear axes, in the style of
+// the paper's correlation panels.
+func Scatter(title, xlabel, ylabel string, xs, ys []float64, width, height int) string {
+	if len(xs) == 0 || len(xs) != len(ys) || width < 8 || height < 4 {
+		return title + ": (no data)\n"
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		col := int(float64(width-1) * (xs[i] - xmin) / (xmax - xmin))
+		row := int(float64(height-1) * (ys[i] - ymin) / (ymax - ymin))
+		r := height - 1 - row
+		switch grid[r][col] {
+		case ' ':
+			grid[r][col] = '.'
+		case '.':
+			grid[r][col] = 'o'
+		default:
+			grid[r][col] = '@'
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	fmt.Fprintf(&b, "%s: [%.4g, %.4g]  (vertical)\n", ylabel, ymin, ymax)
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width+1) + "\n")
+	fmt.Fprintf(&b, "%s: [%.4g, %.4g]  (horizontal)\n", xlabel, xmin, xmax)
+	return b.String()
+}
+
+// Lines renders several named series as a text line chart over a shared
+// x axis (the series' indices) — used for best-found trajectories.
+func Lines(title string, names []string, series [][]float64, width, height int) string {
+	return LinesX(title, "evaluation", names, series, width, height)
+}
+
+// LinesX is Lines with an explicit x-axis label (e.g. "search time").
+func LinesX(title, xlabel string, names []string, series [][]float64, width, height int) string {
+	if len(series) == 0 || width < 8 || height < 4 {
+		return title + ": (no data)\n"
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+		for _, v := range s {
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if maxLen == 0 {
+		return title + ": (no data)\n"
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	marks := "abcdefghij"
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i, v := range s {
+			col := 0
+			if maxLen > 1 {
+				col = int(float64(width-1) * float64(i) / float64(maxLen-1))
+			}
+			row := int(float64(height-1) * (v - ymin) / (ymax - ymin))
+			r := height - 1 - row
+			grid[r][col] = mark
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	for i, name := range names {
+		fmt.Fprintf(&b, "  %c = %s", marks[i%len(marks)], name)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "y: [%.4g, %.4g]\n", ymin, ymax)
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width+1) + "\n")
+	fmt.Fprintf(&b, "x: %s 1..%d\n", xlabel, maxLen)
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// F formats a float compactly for table cells (two decimals, matching
+// the paper's tables).
+func F(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Bold wraps a cell in asterisks; the paper bolds table entries where
+// RSb wins on both metrics.
+func Bold(s string) string { return "*" + s + "*" }

@@ -1,0 +1,119 @@
+package tabulate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "Kernel", "Prf.Imp", "Srh.Imp")
+	tb.AddRow("MM", "1.04", "28.92")
+	tb.AddRow("LU", "1.32", "109.82")
+	s := tb.String()
+	for _, want := range []string{"Table X", "Kernel", "Prf.Imp", "MM", "109.82", "---"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table output missing %q:\n%s", want, s)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	tb := NewTable("", "A", "LongHeader")
+	tb.AddRow("verylongcell", "x")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// Header and data row must have the same rendered width.
+	if len(lines[0]) != len(lines[2]) {
+		t.Fatalf("misaligned columns:\n%q\n%q", lines[0], lines[2])
+	}
+}
+
+func TestShortRowPadded(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("only")
+	if !strings.Contains(tb.String(), "only") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("", "name", "value")
+	tb.AddRow("plain", "1.5")
+	tb.AddRow("with,comma", `has"quote`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "name,value\n") {
+		t.Fatalf("CSV header wrong: %q", got)
+	}
+	if !strings.Contains(got, `"with,comma"`) {
+		t.Fatalf("comma cell not quoted: %q", got)
+	}
+	if !strings.Contains(got, `"has""quote"`) {
+		t.Fatalf("quote cell not escaped: %q", got)
+	}
+}
+
+func TestScatterContainsPoints(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	s := Scatter("corr", "source", "target", xs, ys, 40, 10)
+	if !strings.Contains(s, "corr") || !strings.Contains(s, "source") {
+		t.Fatalf("scatter missing labels:\n%s", s)
+	}
+	if strings.Count(s, ".")+strings.Count(s, "o")+strings.Count(s, "@") < 3 {
+		t.Fatalf("scatter has too few plotted points:\n%s", s)
+	}
+}
+
+func TestScatterDegenerateInputs(t *testing.T) {
+	if s := Scatter("t", "x", "y", nil, nil, 40, 10); !strings.Contains(s, "no data") {
+		t.Fatal("empty scatter should say no data")
+	}
+	// Constant values must not divide by zero.
+	s := Scatter("t", "x", "y", []float64{1, 1}, []float64{2, 2}, 40, 10)
+	if !strings.Contains(s, "|") {
+		t.Fatalf("constant-value scatter failed:\n%s", s)
+	}
+}
+
+func TestLinesRendersSeries(t *testing.T) {
+	s := Lines("traj", []string{"RS", "RSb"},
+		[][]float64{{5, 4, 4, 3}, {3, 2, 2, 2}}, 30, 8)
+	if !strings.Contains(s, "a = RS") || !strings.Contains(s, "b = RSb") {
+		t.Fatalf("legend missing:\n%s", s)
+	}
+	if !strings.Contains(s, "a") || !strings.Contains(s, "b") {
+		t.Fatalf("marks missing:\n%s", s)
+	}
+}
+
+func TestLinesDegenerate(t *testing.T) {
+	if s := Lines("t", nil, nil, 30, 8); !strings.Contains(s, "no data") {
+		t.Fatal("empty lines should say no data")
+	}
+	s := Lines("t", []string{"x"}, [][]float64{{7, 7, 7}}, 30, 8)
+	if !strings.Contains(s, "x:") {
+		t.Fatalf("constant series failed:\n%s", s)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if F(1.237) != "1.24" {
+		t.Fatalf("F = %q", F(1.237))
+	}
+	if Bold("1.00") != "*1.00*" {
+		t.Fatal("Bold wrong")
+	}
+}
+
+func TestLinesXLabel(t *testing.T) {
+	s := LinesX("t", "search time", []string{"x"}, [][]float64{{1, 2}}, 20, 5)
+	if !strings.Contains(s, "x: search time 1..2") {
+		t.Fatalf("custom x label missing:\n%s", s)
+	}
+}
