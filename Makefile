@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: check build vet test race
+
+# check is the full local CI gate: build everything, vet, and run the
+# test suite under the race detector.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

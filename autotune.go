@@ -14,7 +14,10 @@
 //     the HPL / Raytracer mini-apps
 //   - internal/forest:     random-forest surrogate models
 //   - internal/search:     RS, RSp, RSb, RSpf, RSbf and extension
-//     heuristics (SA, GA, pattern search)
+//     heuristics (SA, GA, pattern search), plus the failure-aware
+//     Resilient evaluator (retry/timeout budgets, censored records)
+//   - internal/faults:     deterministic, seeded fault injection with
+//     per-machine failure profiles
 //   - internal/opentuner:  technique-ensemble meta-tuner
 //   - internal/core:       the transfer methodology (the paper's
 //     contribution)
@@ -42,6 +45,7 @@ import (
 	"repro/internal/annotate"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/forest"
 	"repro/internal/kernels"
 	"repro/internal/machine"
@@ -95,6 +99,26 @@ type (
 
 	// ForestParams configures the random-forest surrogate.
 	ForestParams = forest.Params
+
+	// FallibleProblem is a Problem whose evaluations can fail; EvalStatus
+	// classifies how each evaluation ended, EvalCounts tallies a run.
+	FallibleProblem = search.FallibleProblem
+	EvalStatus      = search.Status
+	EvalCounts      = search.Counts
+	// EvalOutcome is the reduced result of one resilient evaluation.
+	EvalOutcome = search.Outcome
+
+	// FaultRates configures the deterministic fault injector;
+	// ResilientOptions sets retry/timeout budgets for fallible problems.
+	FaultRates       = faults.Rates
+	ResilientOptions = search.ResilientOptions
+)
+
+// Evaluation statuses recorded on each search Record.
+const (
+	EvalOK       = search.StatusOK
+	EvalCensored = search.StatusCensored
+	EvalFailed   = search.StatusFailed
 )
 
 // Machines returns the five simulated machines of the paper's Table II.
@@ -198,6 +222,25 @@ func PrunedSearch(tgt Problem, sur *Surrogate, nmax, poolSize int, deltaPct floa
 // numbers, compute the paper's speedup metrics).
 func Transfer(src, tgt Problem, opts TransferOptions) (*Outcome, error) {
 	return core.Run(src, tgt, opts)
+}
+
+// FaultProfile returns the default failure profile of a simulated
+// machine (the five machines fail in distinct, machine-specific ways).
+func FaultProfile(machineName string) FaultRates { return faults.Profile(machineName) }
+
+// WithFaults wraps a problem with deterministic, seeded fault injection
+// and a resilient evaluator, returning a Problem every search accepts.
+// Failed evaluations appear in the Result as records with EvalFailed
+// status; runs beyond opt.Timeout are censored at the cap.
+func WithFaults(p Problem, rates FaultRates, seed uint64, opt ResilientOptions) Problem {
+	return search.NewResilient(faults.Wrap(p, rates, seed), opt)
+}
+
+// WithResilience wraps a problem (fallible or not) with retry and
+// timeout budgets; retries and their exponential backoff are charged to
+// the search clock.
+func WithResilience(p Problem, opt ResilientOptions) Problem {
+	return search.NewResilient(search.Fallible(p), opt)
 }
 
 // EnsembleTune runs the OpenTuner-style technique ensemble (simulated

@@ -149,8 +149,8 @@ param RT_I on i regtile pow2 0..2
 
 func TestExperimentFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(ids))
+	if len(ids) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(ids))
 	}
 	rep, err := RunExperiment("table2", ExperimentConfig{Seed: 1})
 	if err != nil {
@@ -192,5 +192,33 @@ func TestDatasetAndSurrogatePersistence(t *testing.T) {
 	probe := src.Space().Encode(src.Space().Default())
 	if sur.Predict(probe) != sur2.Predict(probe) {
 		t.Fatal("loaded surrogate predicts differently")
+	}
+}
+
+func TestWithFaultsFacade(t *testing.T) {
+	p, err := NewKernelProblem("MM", "Westmere", "gnu-4.4.7", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := FaultProfile("Westmere").ScaledTo(0.4)
+	fp := WithFaults(p, rates, 21, ResilientOptions{Retries: 2})
+	if fp.Name() != p.Name() {
+		t.Fatal("fault wrapper changed the problem identity")
+	}
+	res := RandomSearch(fp, 60, 21)
+	counts := res.Counts()
+	if counts.Total() != len(res.Records) {
+		t.Fatalf("counts total %d vs %d records", counts.Total(), len(res.Records))
+	}
+	if counts.Failed == 0 {
+		t.Fatal("40% fault rate injected no failures")
+	}
+	if best, _, ok := res.Best(); !ok || best.Status != EvalOK {
+		t.Fatal("no clean best under partial failures")
+	}
+	// Determinism: the same seed reproduces the same statuses.
+	res2 := RandomSearch(WithFaults(p, rates, 21, ResilientOptions{Retries: 2}), 60, 21)
+	if res2.Counts() != counts {
+		t.Fatalf("fault injection not deterministic: %+v vs %+v", res2.Counts(), counts)
 	}
 }

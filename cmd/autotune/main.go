@@ -5,18 +5,27 @@
 //
 //	autotune -problem LU -machine Sandybridge [-compiler gnu-4.4.7]
 //	         [-threads 1] [-algo rs|sa|ga|ps|ensemble] [-nmax 100] [-seed 42]
+//	         [-faults 0.3] [-retries 2] [-timeout 30]
 //
 // Problems: MM, ATAX, COR, LU (SPAPT kernels), HPL, RT (mini-apps), or
 // -annotation FILE for a kernel in the annotation language.
+//
+// -faults F injects evaluation failures at total rate F (the machine's
+// failure profile scaled so compile failures + crashes + hangs = F);
+// -retries and -timeout set the resilient evaluator's budgets. Exit
+// codes: 0 success, 1 runtime failure, 2 bad usage (unknown problem,
+// machine, compiler, or algorithm).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/annotate"
 	"repro/internal/codegen"
+	"repro/internal/faults"
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/miniapps"
@@ -28,7 +37,15 @@ import (
 	"repro/internal/transform"
 )
 
-func main() {
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		problem    = flag.String("problem", "LU", "MM|ATAX|COR|LU|HPL|RT")
 		annotation = flag.String("annotation", "", "path to an annotated kernel file (overrides -problem)")
@@ -38,15 +55,38 @@ func main() {
 		algo       = flag.String("algo", "rs", "rs|sa|ga|ps|ensemble")
 		nmax       = flag.Int("nmax", 100, "evaluation budget")
 		seed       = flag.Uint64("seed", 42, "random seed")
+		faultRate  = flag.Float64("faults", 0, "total injected failure rate in [0,1) (0 disables)")
+		retries    = flag.Int("retries", 2, "max retries per transient evaluation failure")
+		timeout    = flag.Float64("timeout", 0, "per-evaluation run-time cap in seconds (0 disables censoring)")
 		verbose    = flag.Bool("v", false, "print every evaluation")
 		emit       = flag.Bool("emit", false, "print the best variant as C code (kernel problems)")
 	)
 	flag.Parse()
 
+	if *faultRate < 0 || *faultRate >= 1 {
+		fmt.Fprintf(os.Stderr, "autotune: -faults must be in [0,1), got %v\n", *faultRate)
+		return exitUsage
+	}
+
 	p, err := buildProblem(*problem, *annotation, *machineN, *compilerN, *threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autotune:", err)
-		os.Exit(1)
+		return exitUsage
+	}
+
+	// The fault-aware evaluation layer: inject failures (if asked) and
+	// wrap with retry/timeout budgets. With neither faults nor budgets
+	// requested the problem runs bare, exactly as before.
+	faulted := *faultRate > 0
+	if faulted || *timeout > 0 {
+		fp := search.Fallible(p)
+		if faulted {
+			fp = faults.Wrap(p, faults.Profile(*machineN).ScaledTo(*faultRate), *seed)
+		}
+		p = search.NewResilient(fp, search.ResilientOptions{
+			Retries: *retries,
+			Timeout: *timeout,
+		})
 	}
 
 	r := rng.New(*seed)
@@ -66,23 +106,27 @@ func main() {
 		res, pulls = tuner.Run(p)
 		defer func() { fmt.Printf("technique pulls: %v\n", pulls) }()
 	default:
-		fmt.Fprintf(os.Stderr, "autotune: unknown algorithm %q\n", *algo)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "autotune: unknown algorithm %q (known: rs, sa, ga, ps, ensemble)\n", *algo)
+		return exitUsage
 	}
 
 	if *verbose {
 		for i, rec := range res.Records {
-			fmt.Printf("%3d  run=%9.4fs  clock=%10.2fs  %s\n",
-				i+1, rec.RunTime, rec.Elapsed, p.Space().String(rec.Config))
+			fmt.Printf("%3d  run=%9.4fs  clock=%10.2fs  status=%-10s %s\n",
+				i+1, rec.RunTime, rec.Elapsed, rec.StatusLabel(), p.Space().String(rec.Config))
 		}
 	}
 	best, idx, ok := res.Best()
 	if !ok {
-		fmt.Fprintln(os.Stderr, "autotune: no evaluations")
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "autotune: no successful evaluations (every configuration failed)")
+		return exitError
 	}
 	fmt.Printf("problem:     %s\n", p.Name())
 	fmt.Printf("algorithm:   %s, %d evaluations\n", res.Algorithm, len(res.Records))
+	if counts := res.Counts(); counts.Failed > 0 || counts.Censored > 0 || counts.Retried > 0 {
+		fmt.Printf("statuses:    %d ok, %d censored, %d failed, %d retried (%d extra attempts)\n",
+			counts.OK, counts.Censored, counts.Failed, counts.Retried, counts.Retries)
+	}
 	fmt.Printf("best config: %s\n", p.Space().String(best.Config))
 	fmt.Printf("best run:    %.4f s (found after %d evaluations, %.1f s of search)\n",
 		best.RunTime, idx+1, res.Records[idx].Elapsed)
@@ -91,15 +135,39 @@ func main() {
 	if *emit {
 		if err := emitBest(p, best.Config); err != nil {
 			fmt.Fprintln(os.Stderr, "autotune: emit:", err)
-			os.Exit(1)
+			return exitError
 		}
+	}
+	return exitOK
+}
+
+// unwrapped peels the fault-injection and resilience layers off a
+// problem, returning the underlying one.
+func unwrapped(p search.Problem) search.Problem {
+	for {
+		if res, ok := p.(*search.Resilient); ok {
+			if u, ok := res.P.(interface{ Unwrap() search.Problem }); ok {
+				p = u.Unwrap()
+				continue
+			}
+			if inner, ok := res.P.(search.Problem); ok {
+				p = inner
+				continue
+			}
+			return p
+		}
+		if u, ok := p.(interface{ Unwrap() search.Problem }); ok {
+			p = u.Unwrap()
+			continue
+		}
+		return p
 	}
 }
 
 // emitBest prints the winning configuration's generated C code when the
 // problem is a kernel (mini-apps have no code to emit).
 func emitBest(p search.Problem, c space.Config) error {
-	kp, ok := p.(*kernels.Problem)
+	kp, ok := unwrapped(p).(*kernels.Problem)
 	if !ok {
 		return fmt.Errorf("-emit only applies to kernel problems")
 	}
@@ -154,7 +222,12 @@ func buildProblem(name, annotation, machineN, compilerN string, threads int) (se
 	default:
 		k, err := kernels.ByName(name)
 		if err != nil {
-			return nil, err
+			names := make([]string, 0, len(kernels.All())+2)
+			for _, kn := range kernels.All() {
+				names = append(names, kn.Name)
+			}
+			names = append(names, "HPL", "RT")
+			return nil, fmt.Errorf("unknown problem %q (known: %s)", name, strings.Join(names, ", "))
 		}
 		comp, err := machine.CompilerByName(compilerN)
 		if err != nil {

@@ -26,9 +26,10 @@ type KNNModel struct {
 	scale []float64
 }
 
-// FitKNN builds a k-NN surrogate from a dataset.
+// FitKNN builds a k-NN surrogate from a dataset. Non-finite rows are
+// dropped before fitting.
 func FitKNN(ta search.Dataset, spc *space.Space, k int) (*KNNModel, error) {
-	if len(ta) == 0 {
+	if ta = ta.Valid(); len(ta) == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
 	if k < 1 {
@@ -82,9 +83,10 @@ type LinearModel struct {
 	w []float64 // intercept first
 }
 
-// FitLinear fits the linear surrogate.
+// FitLinear fits the linear surrogate. Non-finite rows are dropped
+// before fitting.
 func FitLinear(ta search.Dataset, spc *space.Space) (*LinearModel, error) {
-	if len(ta) == 0 {
+	if ta = ta.Valid(); len(ta) == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
 	X, y := ta.Encode(spc)
@@ -166,7 +168,7 @@ func (m *LinearModel) Predict(x []float64) float64 {
 // FitSingleTree fits one unbagged CART tree (no feature subsampling) as
 // the simplest recursive-partitioning baseline.
 func FitSingleTree(ta search.Dataset, spc *space.Space, minLeaf int) (*forest.Tree, error) {
-	if len(ta) == 0 {
+	if ta = ta.Valid(); len(ta) == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
 	X, y := ta.Encode(spc)

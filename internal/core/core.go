@@ -14,6 +14,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/forest"
@@ -22,6 +23,17 @@ import (
 	"repro/internal/space"
 	"repro/internal/stats"
 )
+
+// MinFitSamples is the smallest number of valid (finite) training rows
+// FitSurrogate accepts. Below it a surrogate would be noise; callers
+// should degrade to model-free search instead (Run does so
+// automatically).
+const MinFitSamples = 5
+
+// ErrTooFewValid reports that a training set, after dropping failed and
+// non-finite rows, is too small to fit a surrogate on. Run treats it as
+// a signal to fall back to plain RS rather than a fatal error.
+var ErrTooFewValid = errors.New("core: too few valid training samples")
 
 // Surrogate is a performance model fitted to one machine's data and used
 // to guide search on another, together with the space encoding it was
@@ -36,10 +48,15 @@ type Surrogate struct {
 // Predict implements search.Model.
 func (s *Surrogate) Predict(x []float64) float64 { return s.Forest.Predict(x) }
 
-// FitSurrogate trains the random-forest surrogate M_a on T_a.
+// FitSurrogate trains the random-forest surrogate M_a on T_a. Failed and
+// non-finite rows are dropped first; censored rows are kept (the cap is
+// an informative lower bound for ranking slow configurations). With
+// fewer than MinFitSamples surviving rows it returns ErrTooFewValid.
 func FitSurrogate(ta search.Dataset, spc *space.Space, source string, p forest.Params, r *rng.RNG) (*Surrogate, error) {
-	if len(ta) == 0 {
-		return nil, fmt.Errorf("core: empty training set")
+	ta = ta.Valid()
+	if len(ta) < MinFitSamples {
+		return nil, fmt.Errorf("%w: %d of %d needed (source %s)",
+			ErrTooFewValid, len(ta), MinFitSamples, source)
 	}
 	X, y := ta.Encode(spc)
 	f, err := forest.Fit(X, y, p, r)
@@ -138,13 +155,24 @@ type Outcome struct {
 	Speedups map[string]Speedups
 
 	// Paired run times of Ta's configurations on source and target (the
-	// correlation panels of Figures 3–5) and their correlations.
+	// correlation panels of Figures 3–5) and their correlations. Pairs
+	// where either side failed are excluded.
 	SourceRuns, TargetRuns []float64
 	Pearson, Spearman      float64
 
 	// Surrogate quality on the target: rank correlation between M_a's
 	// predictions and the target's measured times over Ta's configs.
 	SurrogateSpearman float64
+
+	// Degraded reports that the surrogate could not be fit (too many
+	// failed source evaluations) and the model-based variants fell back
+	// to plain RS; Warnings carries the structured explanation.
+	Degraded bool
+	Warnings []string
+
+	// FailureCounts tallies evaluation statuses per run, keyed like
+	// Speedups plus "SourceRS" and "RS".
+	FailureCounts map[string]search.Counts
 }
 
 // Run executes the transfer experiment: collect Ta on the source, fit
@@ -162,10 +190,18 @@ func Run(src, tgt search.Problem, opt Options) (*Outcome, error) {
 	streamSeed := rng.NewNamed(opt.Seed, "crn-stream")
 	out.SourceRS, out.Ta = Collect(src, opt.NMax, streamSeed)
 
-	// Phase 2: fit the surrogate.
+	// Phase 2: fit the surrogate. When the source search lost too many
+	// evaluations to failures, the surrogate cannot be trusted; instead
+	// of erroring, degrade gracefully to model-free search.
 	sur, err := FitSurrogate(out.Ta, src.Space(), src.Name(), opt.Forest, rng.NewNamed(opt.Seed, "forest"))
 	if err != nil {
-		return nil, err
+		if !errors.Is(err, ErrTooFewValid) {
+			return nil, err
+		}
+		out.Degraded = true
+		out.Warnings = append(out.Warnings, fmt.Sprintf(
+			"surrogate unavailable (%v); RSp and RSb fall back to plain RS", err))
+		sur = nil
 	}
 
 	// Phase 3: target runs.
@@ -177,18 +213,28 @@ func Run(src, tgt search.Problem, opt Options) (*Outcome, error) {
 	}
 	out.RS = search.Replay(tgt, srcSeq, "RS")
 
-	// RSp walks the same candidate stream as RS (fresh identically-seeded
-	// stream) and prunes with the surrogate.
-	out.RSp = search.RSp(tgt, sur,
-		search.RSpOptions{NMax: opt.NMax, PoolSize: opt.PoolSize, DeltaPct: opt.DeltaPct},
-		rng.NewNamed(opt.Seed, "crn-stream"), rng.NewNamed(opt.Seed, "pool"))
+	if sur != nil {
+		// RSp walks the same candidate stream as RS (fresh
+		// identically-seeded stream) and prunes with the surrogate.
+		out.RSp = search.RSp(tgt, sur,
+			search.RSpOptions{NMax: opt.NMax, PoolSize: opt.PoolSize, DeltaPct: opt.DeltaPct},
+			rng.NewNamed(opt.Seed, "crn-stream"), rng.NewNamed(opt.Seed, "pool"))
 
-	// RSb greedily evaluates the pool in ascending predicted order.
-	out.RSb = search.RSb(tgt, sur,
-		search.RSbOptions{NMax: opt.NMax, PoolSize: opt.PoolSize},
-		rng.NewNamed(opt.Seed, "pool"))
+		// RSb greedily evaluates the pool in ascending predicted order.
+		out.RSb = search.RSb(tgt, sur,
+			search.RSbOptions{NMax: opt.NMax, PoolSize: opt.PoolSize},
+			rng.NewNamed(opt.Seed, "pool"))
+	} else {
+		// Fallback: plain RS on the variants' own streams, so the
+		// experiment still yields five complete runs (the variants just
+		// bring no knowledge).
+		out.RSp = search.RS(tgt, opt.NMax, rng.NewNamed(opt.Seed, "crn-stream"))
+		out.RSp.Algorithm = "RSp(RS-fallback)"
+		out.RSb = search.RS(tgt, opt.NMax, rng.NewNamed(opt.Seed, "pool"))
+		out.RSb.Algorithm = "RSb(RS-fallback)"
+	}
 
-	// Model-free controls restricted to Ta.
+	// Model-free controls restricted to Ta (empty Ta yields empty runs).
 	out.RSpf = search.RSpf(tgt, out.Ta, opt.DeltaPct)
 	out.RSbf = search.RSbf(tgt, out.Ta)
 
@@ -197,14 +243,22 @@ func Run(src, tgt search.Problem, opt Options) (*Outcome, error) {
 	} {
 		out.Speedups[name] = ComputeSpeedups(out.RS, res)
 	}
+	out.FailureCounts = map[string]search.Counts{
+		"SourceRS": out.SourceRS.Counts(), "RS": out.RS.Counts(),
+		"RSp": out.RSp.Counts(), "RSb": out.RSb.Counts(),
+		"RSpf": out.RSpf.Counts(), "RSbf": out.RSbf.Counts(),
+	}
 
-	// Correlation panel: Ta's configs were re-evaluated on the target by
-	// the RS replay, giving exact pairs.
-	out.SourceRuns = make([]float64, len(out.Ta))
-	out.TargetRuns = make([]float64, len(out.RS.Records))
-	for i := range out.Ta {
-		out.SourceRuns[i] = out.Ta[i].RunTime
-		out.TargetRuns[i] = out.RS.Records[i].RunTime
+	// Correlation panel: the RS replay re-evaluated every source
+	// configuration on the target, giving exact pairs; pairs where
+	// either side failed to measure are dropped.
+	for i, srcRec := range out.SourceRS.Records {
+		tgtRec := out.RS.Records[i]
+		if !srcRec.Measured() || !tgtRec.Measured() {
+			continue
+		}
+		out.SourceRuns = append(out.SourceRuns, srcRec.RunTime)
+		out.TargetRuns = append(out.TargetRuns, tgtRec.RunTime)
 	}
 	if p, err := stats.Pearson(out.SourceRuns, out.TargetRuns); err == nil {
 		out.Pearson = p
@@ -212,12 +266,19 @@ func Run(src, tgt search.Problem, opt Options) (*Outcome, error) {
 	if s, err := stats.Spearman(out.SourceRuns, out.TargetRuns); err == nil {
 		out.Spearman = s
 	}
-	preds := make([]float64, len(out.Ta))
-	for i := range out.Ta {
-		preds[i] = sur.Predict(tgt.Space().Encode(out.Ta[i].Config))
-	}
-	if s, err := stats.Spearman(preds, out.TargetRuns); err == nil {
-		out.SurrogateSpearman = s
+	if sur != nil {
+		var preds, tgtRuns []float64
+		for i, srcRec := range out.SourceRS.Records {
+			tgtRec := out.RS.Records[i]
+			if !srcRec.Measured() || !tgtRec.Measured() {
+				continue
+			}
+			preds = append(preds, sur.Predict(tgt.Space().Encode(srcRec.Config)))
+			tgtRuns = append(tgtRuns, tgtRec.RunTime)
+		}
+		if s, err := stats.Spearman(preds, tgtRuns); err == nil {
+			out.SurrogateSpearman = s
+		}
 	}
 
 	return out, nil

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
+	"math"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/forest"
 	"repro/internal/kernels"
 	"repro/internal/machine"
@@ -301,6 +304,103 @@ func TestOutcomeInternalConsistency(t *testing.T) {
 				t.Fatalf("%s clock not increasing", res.Algorithm)
 			}
 			prev = rec.Elapsed
+		}
+	}
+}
+
+func TestFitSurrogateRejectsTooFewValid(t *testing.T) {
+	spc := space.New(space.NewIntRange("x", 0, 9))
+	ta := search.Dataset{
+		{Config: space.Config{1}, RunTime: 1},
+		{Config: space.Config{2}, RunTime: math.Inf(1)},
+		{Config: space.Config{3}, RunTime: math.NaN()},
+	}
+	_, err := FitSurrogate(ta, spc, "test", forest.Params{Trees: 5}, rng.New(1))
+	if !errors.Is(err, ErrTooFewValid) {
+		t.Fatalf("want ErrTooFewValid, got %v", err)
+	}
+}
+
+func TestTransferFallsBackWhenSourceFails(t *testing.T) {
+	// Near-total compile failure on the source machine: too few valid
+	// rows survive to fit the surrogate, so Transfer must degrade to
+	// plain RS — with a warning — rather than error out.
+	src := search.NewResilient(
+		faults.Wrap(problem(t, "LU", machine.Westmere), faults.Rates{CompileFail: 0.97}, 77),
+		search.ResilientOptions{Retries: 1})
+	out, err := Run(src, problem(t, "LU", machine.Sandybridge), smallOpts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded {
+		t.Fatal("97% source failure did not trigger degraded mode")
+	}
+	if len(out.Warnings) == 0 {
+		t.Fatal("degraded outcome carries no warning")
+	}
+	if out.FailureCounts["SourceRS"].Failed == 0 {
+		t.Fatal("failure counts not recorded for the source run")
+	}
+	// All five variants still produced results. RSpf/RSbf are restricted
+	// to Ta, which an all-failed source leaves empty, so they may hold
+	// zero records — but must not be nil.
+	for name, res := range map[string]*search.Result{
+		"RS": out.RS, "RSp": out.RSp, "RSb": out.RSb, "RSpf": out.RSpf, "RSbf": out.RSbf,
+	} {
+		if res == nil {
+			t.Fatalf("variant %s missing after fallback", name)
+		}
+	}
+	for name, res := range map[string]*search.Result{"RS": out.RS, "RSp": out.RSp, "RSb": out.RSb} {
+		if len(res.Records) == 0 {
+			t.Fatalf("variant %s evaluated nothing after fallback", name)
+		}
+	}
+	if out.RSp.Algorithm != "RSp(RS-fallback)" || out.RSb.Algorithm != "RSb(RS-fallback)" {
+		t.Fatalf("fallback not labelled: %q / %q", out.RSp.Algorithm, out.RSb.Algorithm)
+	}
+	for name := range out.Speedups {
+		if _, ok := out.Speedups[name]; !ok {
+			t.Fatalf("missing speedups for %s", name)
+		}
+	}
+}
+
+func TestRunWithModerateFaultsStaysConsistent(t *testing.T) {
+	// A 30% failure rate on both machines: every variant completes, the
+	// correlation panel stays index-paired, and best-found values are
+	// finite.
+	wrap := func(p search.Problem, seed uint64) search.Problem {
+		return search.NewResilient(
+			faults.Wrap(p, faults.Profile(p.Name()).ScaledTo(0.30), seed),
+			search.ResilientOptions{Retries: 2, Backoff: 0.5})
+	}
+	out, err := Run(
+		wrap(problem(t, "LU", machine.Westmere), 5),
+		wrap(problem(t, "LU", machine.Sandybridge), 6),
+		smallOpts(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.SourceRuns) != len(out.TargetRuns) {
+		t.Fatal("correlation pairs mismatched under faults")
+	}
+	for _, run := range append(append([]float64{}, out.SourceRuns...), out.TargetRuns...) {
+		if math.IsNaN(run) || math.IsInf(run, 0) {
+			t.Fatal("non-finite run in correlation panel")
+		}
+	}
+	for name, res := range map[string]*search.Result{
+		"RS": out.RS, "RSp": out.RSp, "RSb": out.RSb, "RSpf": out.RSpf, "RSbf": out.RSbf,
+	} {
+		if best, _, ok := res.Best(); ok {
+			if math.IsNaN(best.RunTime) || math.IsInf(best.RunTime, 0) {
+				t.Fatalf("%s best is non-finite", name)
+			}
+		}
+		counts, want := out.FailureCounts[name], res.Counts()
+		if counts != want {
+			t.Fatalf("%s failure counts stale: %+v vs %+v", name, counts, want)
 		}
 	}
 }

@@ -116,7 +116,8 @@ var registry = map[string]registryEntry{
 func IDs() []string {
 	return []string{"fig1", "fig2", "table1", "table2", "table3",
 		"fig3", "fig4", "fig5", "table4", "table5",
-		"ext-inputsize", "ext-algos", "ext-surrogates", "ext-replicates"}
+		"ext-inputsize", "ext-algos", "ext-surrogates", "ext-replicates",
+		"ext-robustness"}
 }
 
 // Run executes one experiment by id.

@@ -246,3 +246,30 @@ func TestExtReplicates(t *testing.T) {
 		t.Logf("note: RSb improvement not significant at this reduced scale (p=%v)", p)
 	}
 }
+
+func TestExtRobustness(t *testing.T) {
+	rep := run(t, "ext-robustness", Quick(11))
+	// The fault-free baseline must be clean; at 30% failures must appear.
+	if rep.Values["r00/SourceRS/failed"] != 0 {
+		t.Fatalf("fault-free run reported failures: %v", rep.Values["r00/SourceRS/failed"])
+	}
+	if rep.Values["r30/SourceRS/failed"] == 0 {
+		t.Fatal("30% fault rate injected no source failures")
+	}
+	// Every variant still completed and reported a speedup at 30%.
+	for _, name := range []string{"RSp", "RSb", "RSpf", "RSbf"} {
+		if _, ok := rep.Values["r30/"+name+"/perf"]; !ok {
+			t.Fatalf("missing speedup for %s at 30%% faults", name)
+		}
+	}
+	// The near-total-failure scenario must trip the graceful fallback.
+	if rep.Values["fallback/degraded"] != 1 {
+		t.Fatal("fallback scenario did not degrade")
+	}
+	if rep.Values["fallback/source-failed"] == 0 {
+		t.Fatal("fallback scenario recorded no source failures")
+	}
+	if !strings.Contains(rep.Text, "fall back") && !strings.Contains(rep.Text, "degrade") {
+		t.Fatal("report text does not mention the fallback")
+	}
+}

@@ -119,20 +119,30 @@ func (t *Tuner) Run(p search.Problem) (*search.Result, map[string]int) {
 		}
 		if cached, dup := seen[c.Key()]; dup {
 			// No budget spent; feed the cached value back and count a
-			// zero reward (the technique is re-treading old ground).
-			a.tech.Report(c, cached)
+			// zero reward (the technique is re-treading old ground). A
+			// cached failure (+Inf) is withheld like a live one.
+			if !math.IsInf(cached, 0) && !math.IsNaN(cached) {
+				a.tech.Report(c, cached)
+			}
 			a.addReward(0)
 			continue
 		}
-		run, cost := p.Evaluate(c)
-		seen[c.Key()] = run
-		elapsed += cost
+		out := search.EvaluateFull(p, c)
+		seen[c.Key()] = out.RunTime
+		elapsed += out.Cost
 		res.Records = append(res.Records, search.Record{
-			Config: c.Clone(), RunTime: run, Cost: cost, Elapsed: elapsed,
+			Config: c.Clone(), RunTime: out.RunTime, Cost: out.Cost, Elapsed: elapsed,
+			Status: out.Status, Retries: out.Retries,
 		})
-		a.tech.Report(c, run)
-		if run < best {
-			best = run
+		if out.Status == search.StatusFailed {
+			// The technique saw no measurement; the arm pays with a zero
+			// reward for proposing a broken configuration.
+			a.addReward(0)
+			continue
+		}
+		a.tech.Report(c, out.RunTime)
+		if out.Status == search.StatusOK && out.RunTime < best {
+			best = out.RunTime
 			a.addReward(1)
 		} else {
 			a.addReward(0)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -14,11 +15,26 @@ import (
 // configuration per row (level values), and a final run_time column. The
 // header is validated against the space on load, so a dataset collected
 // for one kernel cannot silently be applied to another.
+//
+// Datasets containing censored measurements carry one more column,
+// "status" (ok | censored), so censoring survives the round trip; plain
+// datasets keep the legacy layout and old files load unchanged.
 
-// SaveCSV writes the dataset for the given space.
+// SaveCSV writes the dataset for the given space. The status column is
+// emitted only when some row is censored.
 func (d Dataset) SaveCSV(w io.Writer, spc *space.Space) error {
+	withStatus := false
+	for _, s := range d {
+		if s.Censored {
+			withStatus = true
+			break
+		}
+	}
 	bw := bufio.NewWriter(w)
 	cols := append(append([]string{}, spc.Names()...), "run_time")
+	if withStatus {
+		cols = append(cols, "status")
+	}
 	if _, err := bw.WriteString(strings.Join(cols, ",") + "\n"); err != nil {
 		return err
 	}
@@ -26,11 +42,21 @@ func (d Dataset) SaveCSV(w io.Writer, spc *space.Space) error {
 		if err := spc.Validate(s.Config); err != nil {
 			return fmt.Errorf("search: row %d: %w", i, err)
 		}
-		parts := make([]string, 0, len(s.Config)+1)
+		if math.IsNaN(s.RunTime) || math.IsInf(s.RunTime, 0) {
+			return fmt.Errorf("search: row %d: non-finite run time %v", i, s.RunTime)
+		}
+		parts := make([]string, 0, len(s.Config)+2)
 		for _, lv := range s.Config {
 			parts = append(parts, strconv.Itoa(lv))
 		}
 		parts = append(parts, strconv.FormatFloat(s.RunTime, 'g', -1, 64))
+		if withStatus {
+			st := StatusOK
+			if s.Censored {
+				st = StatusCensored
+			}
+			parts = append(parts, st.String())
+		}
 		if _, err := bw.WriteString(strings.Join(parts, ",") + "\n"); err != nil {
 			return err
 		}
@@ -40,6 +66,8 @@ func (d Dataset) SaveCSV(w io.Writer, spc *space.Space) error {
 
 // LoadCSV reads a dataset saved by SaveCSV, checking the header against
 // the space's parameter names and every row against its level ranges.
+// Both layouts load: the legacy one ending at run_time, and the
+// failure-aware one with a trailing status column.
 func LoadCSV(r io.Reader, spc *space.Space) (Dataset, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -48,6 +76,14 @@ func LoadCSV(r io.Reader, spc *space.Space) (Dataset, error) {
 	}
 	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
 	want := append(append([]string{}, spc.Names()...), "run_time")
+	withStatus := len(header) == len(want)+1
+	if withStatus {
+		if header[len(header)-1] != "status" {
+			return nil, fmt.Errorf("search: header trailing column is %q, want %q",
+				header[len(header)-1], "status")
+		}
+		header = header[:len(header)-1]
+	}
 	if len(header) != len(want) {
 		return nil, fmt.Errorf("search: header has %d columns, space needs %d", len(header), len(want))
 	}
@@ -55,6 +91,10 @@ func LoadCSV(r io.Reader, spc *space.Space) (Dataset, error) {
 		if header[i] != want[i] {
 			return nil, fmt.Errorf("search: header column %d is %q, want %q", i, header[i], want[i])
 		}
+	}
+	wantCols := len(want)
+	if withStatus {
+		wantCols++
 	}
 
 	var ds Dataset
@@ -66,8 +106,8 @@ func LoadCSV(r io.Reader, spc *space.Space) (Dataset, error) {
 			continue
 		}
 		parts := strings.Split(line, ",")
-		if len(parts) != len(want) {
-			return nil, fmt.Errorf("search: line %d has %d columns, want %d", lineNo, len(parts), len(want))
+		if len(parts) != wantCols {
+			return nil, fmt.Errorf("search: line %d has %d columns, want %d", lineNo, len(parts), wantCols)
 		}
 		c := make(space.Config, spc.NumParams())
 		for i := 0; i < spc.NumParams(); i++ {
@@ -80,11 +120,22 @@ func LoadCSV(r io.Reader, spc *space.Space) (Dataset, error) {
 		if err := spc.Validate(c); err != nil {
 			return nil, fmt.Errorf("search: line %d: %w", lineNo, err)
 		}
-		y, err := strconv.ParseFloat(parts[len(parts)-1], 64)
-		if err != nil || y < 0 {
-			return nil, fmt.Errorf("search: line %d: bad run time %q", lineNo, parts[len(parts)-1])
+		y, err := strconv.ParseFloat(parts[len(want)-1], 64)
+		if err != nil || y < 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+			return nil, fmt.Errorf("search: line %d: bad run time %q", lineNo, parts[len(want)-1])
 		}
-		ds = append(ds, Sample{Config: c, RunTime: y})
+		smp := Sample{Config: c, RunTime: y}
+		if withStatus {
+			st, err := ParseStatus(parts[len(parts)-1])
+			if err != nil {
+				return nil, fmt.Errorf("search: line %d: %w", lineNo, err)
+			}
+			if st == StatusFailed {
+				return nil, fmt.Errorf("search: line %d: failed rows carry no measurement and cannot be saved", lineNo)
+			}
+			smp.Censored = st == StatusCensored
+		}
+		ds = append(ds, smp)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

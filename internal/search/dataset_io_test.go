@@ -1,6 +1,7 @@
 package search
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -53,16 +54,66 @@ func TestLoadCSVValidation(t *testing.T) {
 		"wrong header":   "a,b,c,run_time\n0,0,0,1\n",
 		"short header":   "u,t,run_time\n0,0,1\n",
 		"short row":      "u,t,scr,run_time\n0,0,1\n",
+		"truncated row":  "u,t,scr,run_time\n0,0,0,1\n1,2\n",
+		"extra column":   "u,t,scr,run_time\n0,0,0,1,9\n",
 		"bad level":      "u,t,scr,run_time\n99,0,0,1\n",
 		"negative level": "u,t,scr,run_time\n-1,0,0,1\n",
 		"bad float":      "u,t,scr,run_time\n0,0,0,abc\n",
 		"negative time":  "u,t,scr,run_time\n0,0,0,-5\n",
+		"NaN time":       "u,t,scr,run_time\n0,0,0,NaN\n",
+		"Inf time":       "u,t,scr,run_time\n0,0,0,+Inf\n",
 		"non-int level":  "u,t,scr,run_time\n1.5,0,0,1\n",
+
+		"wrong trailing column": "u,t,scr,run_time,notes\n0,0,0,1,hi\n",
+		"unknown status":        "u,t,scr,run_time,status\n0,0,0,1,exploded\n",
+		"failed status row":     "u,t,scr,run_time,status\n0,0,0,1,failed\n",
+		"status row too short":  "u,t,scr,run_time,status\n0,0,0,1\n",
 	}
 	for name, doc := range cases {
 		if _, err := LoadCSV(strings.NewReader(doc), spc); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestDatasetCSVCensoredRoundtrip(t *testing.T) {
+	spc := ioSpace()
+	r := rng.New(3)
+	var ds Dataset
+	for i := 0; i < 20; i++ {
+		ds = append(ds, Sample{
+			Config: spc.Random(r), RunTime: 1 + r.Float64()*10,
+			Censored: i%4 == 0,
+		})
+	}
+	var buf strings.Builder
+	if err := ds.SaveCSV(&buf, spc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "u,t,scr,run_time,status\n") {
+		t.Fatalf("censored dataset missing status column: %q",
+			strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	got, err := LoadCSV(strings.NewReader(buf.String()), spc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("row count %d vs %d", len(got), len(ds))
+	}
+	for i := range ds {
+		if got[i].Censored != ds[i].Censored || got[i].RunTime != ds[i].RunTime {
+			t.Fatalf("row %d changed: %+v vs %+v", i, got[i], ds[i])
+		}
+	}
+}
+
+func TestSaveCSVRejectsNonFiniteRunTime(t *testing.T) {
+	spc := ioSpace()
+	ds := Dataset{{Config: space.Config{0, 0, 0}, RunTime: math.Inf(1)}}
+	var buf strings.Builder
+	if err := ds.SaveCSV(&buf, spc); err == nil {
+		t.Fatal("non-finite run time saved")
 	}
 }
 

@@ -22,7 +22,10 @@ type Technique interface {
 }
 
 // Drive runs a single technique against a problem for nmax evaluations,
-// skipping configurations that were already evaluated.
+// skipping configurations that were already evaluated. Failed
+// evaluations consume budget and are recorded, but are not reported to
+// the technique (it saw no measurement), so heuristics continue past
+// failures without poisoning their internal state.
 func Drive(p Problem, t Technique, nmax int) *Result {
 	run := newRunner(p, t.Name())
 	seen := map[string]float64{}
@@ -34,14 +37,19 @@ func Drive(p Problem, t Technique, nmax int) *Result {
 		}
 		if cached, dup := seen[c.Key()]; dup {
 			// Feed the cached measurement back so the technique still
-			// advances its internal state, without spending budget.
+			// advances its internal state, without spending budget. A
+			// cached failure (+Inf) is withheld the same as a live one.
 			misses++
-			t.Report(c, cached)
+			if !math.IsInf(cached, 0) && !math.IsNaN(cached) {
+				t.Report(c, cached)
+			}
 			continue
 		}
 		rec := run.evaluate(c)
 		seen[c.Key()] = rec.RunTime
-		t.Report(c, rec.RunTime)
+		if rec.Status != StatusFailed {
+			t.Report(c, rec.RunTime)
+		}
 	}
 	return run.res
 }

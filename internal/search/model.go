@@ -144,6 +144,10 @@ func RSpf(p Problem, ta Dataset, deltaPct float64) *Result {
 		deltaPct = 20
 	}
 	run := newRunner(p, "RSpf")
+	ta = ta.Valid()
+	if len(ta) == 0 {
+		return run.res
+	}
 	ys := make([]float64, len(ta))
 	for i, s := range ta {
 		ys[i] = s.RunTime
@@ -161,8 +165,11 @@ func RSpf(p Problem, ta Dataset, deltaPct float64) *Result {
 
 // RSbf is the model-free biasing control: it sorts Ta ascending by the
 // source run times and evaluates the configurations in that order.
+// Censored source rows sort by their caps, which places them with the
+// slow configurations they almost certainly are.
 func RSbf(p Problem, ta Dataset) *Result {
 	run := newRunner(p, "RSbf")
+	ta = ta.Valid()
 	order := make([]int, len(ta))
 	for i := range order {
 		order[i] = i
@@ -217,7 +224,14 @@ func RSbA(p Problem, initial Model, ta Dataset, opt RSbOptions, refitEvery int,
 		remaining = remaining[:len(remaining)-1]
 
 		rec := run.evaluate(c)
-		observed = append(observed, Sample{Config: rec.Config, RunTime: rec.RunTime})
+		// Failed evaluations contribute no training signal; censored ones
+		// enter at the cap, a usable lower bound for ranking.
+		if rec.Status != StatusFailed {
+			observed = append(observed, Sample{
+				Config: rec.Config, RunTime: rec.RunTime,
+				Censored: rec.Status == StatusCensored,
+			})
+		}
 
 		if len(run.res.Records)%refitEvery == 0 {
 			m, err := refit(observed)

@@ -1,0 +1,245 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/space"
+)
+
+// scriptedProblem replays a per-config script of evaluation outcomes:
+// each entry is a run time, or a negative code (-1 permanent failure,
+// -2 transient failure).
+type scriptedProblem struct {
+	spc    *space.Space
+	script map[string][]float64
+	calls  map[string]int
+}
+
+func newScripted() *scriptedProblem {
+	return &scriptedProblem{
+		spc:    space.New(space.NewIntRange("x", 0, 9)),
+		script: map[string][]float64{},
+		calls:  map[string]int{},
+	}
+}
+
+func (s *scriptedProblem) Name() string        { return "scripted@test" }
+func (s *scriptedProblem) Space() *space.Space { return s.spc }
+
+func (s *scriptedProblem) TryEvaluate(c space.Config) (float64, float64, error) {
+	key := c.Key()
+	i := s.calls[key]
+	s.calls[key]++
+	steps := s.script[key]
+	v := 1.0
+	if i < len(steps) {
+		v = steps[i]
+	}
+	switch {
+	case v == -1:
+		return 0, 0.5, errors.New("permanent")
+	case v == -2:
+		return 0, 0.5, Transient(errors.New("transient"))
+	default:
+		return v, v + 0.5, nil
+	}
+}
+
+func cfg(x int) space.Config { return space.Config{x} }
+
+func TestResilientRetriesTransientAndChargesBackoff(t *testing.T) {
+	p := newScripted()
+	p.script[cfg(1).Key()] = []float64{-2, -2, 3}
+	r := NewResilient(p, ResilientOptions{Retries: 2, Backoff: 1})
+	out := r.EvaluateFull(cfg(1))
+	if out.Status != StatusOK || out.RunTime != 3 || out.Retries != 2 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	// Two failed attempts (0.5 each) + backoff 1 + 2 + success (3.5).
+	want := 0.5 + 0.5 + 1 + 2 + 3.5
+	if math.Abs(out.Cost-want) > 1e-12 {
+		t.Fatalf("cost = %v, want %v", out.Cost, want)
+	}
+}
+
+func TestResilientExhaustsRetryBudget(t *testing.T) {
+	p := newScripted()
+	p.script[cfg(2).Key()] = []float64{-2, -2, -2, -2}
+	r := NewResilient(p, ResilientOptions{Retries: 2, Backoff: 1})
+	out := r.EvaluateFull(cfg(2))
+	if out.Status != StatusFailed || !math.IsInf(out.RunTime, 1) {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if out.Err == nil || IsTransient(out.Err) != true {
+		t.Fatalf("want final transient error, got %v", out.Err)
+	}
+	if out.Retries != 2 {
+		t.Fatalf("retries = %d", out.Retries)
+	}
+	// Three failed attempts + backoff 1 + 2 (no backoff after the last).
+	if want := 1.5 + 3.0; math.Abs(out.Cost-want) > 1e-12 {
+		t.Fatalf("cost = %v, want %v", out.Cost, want)
+	}
+}
+
+func TestResilientPermanentFailureNotRetried(t *testing.T) {
+	p := newScripted()
+	p.script[cfg(3).Key()] = []float64{-1, 5}
+	r := NewResilient(p, ResilientOptions{Retries: 3})
+	out := r.EvaluateFull(cfg(3))
+	if out.Status != StatusFailed || out.Retries != 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if p.calls[cfg(3).Key()] != 1 {
+		t.Fatalf("permanent failure retried %d times", p.calls[cfg(3).Key()]-1)
+	}
+}
+
+func TestResilientCensorsAtTimeout(t *testing.T) {
+	p := newScripted()
+	p.script[cfg(4).Key()] = []float64{100}
+	r := NewResilient(p, ResilientOptions{Timeout: 10})
+	out := r.EvaluateFull(cfg(4))
+	if out.Status != StatusCensored || out.RunTime != 10 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	// Charged: compile 0.5 + capped run 10, not the full 100.
+	if want := 10.5; math.Abs(out.Cost-want) > 1e-12 {
+		t.Fatalf("cost = %v, want %v", out.Cost, want)
+	}
+}
+
+func TestResilientImplementsProblem(t *testing.T) {
+	p := newScripted()
+	p.script[cfg(5).Key()] = []float64{-1}
+	var prob Problem = NewResilient(p, ResilientOptions{})
+	run, _ := prob.Evaluate(cfg(5))
+	if !math.IsInf(run, 1) {
+		t.Fatalf("failed evaluation should surface as +Inf, got %v", run)
+	}
+	if prob.Name() != "scripted@test" {
+		t.Fatal("name not passed through")
+	}
+}
+
+func TestFallibleShimRoundTrip(t *testing.T) {
+	base := problemStub{}
+	fp := Fallible(base)
+	run, cost, err := fp.TryEvaluate(cfg(1))
+	if err != nil || run != 2 || cost != 3 {
+		t.Fatalf("shim returned %v %v %v", run, cost, err)
+	}
+	// Already-fallible problems pass through unchanged.
+	ip := interfaceProblem{newScripted()}
+	if got := Fallible(ip); got != FallibleProblem(ip) {
+		t.Fatal("already-fallible problem was re-wrapped")
+	}
+}
+
+type problemStub struct{}
+
+func (problemStub) Name() string        { return "stub" }
+func (problemStub) Space() *space.Space { return space.New(space.NewIntRange("x", 0, 9)) }
+func (problemStub) Evaluate(space.Config) (float64, float64) {
+	return 2, 3
+}
+
+// interfaceProblem is both a Problem and a FallibleProblem.
+type interfaceProblem struct{ *scriptedProblem }
+
+func (ip interfaceProblem) Evaluate(c space.Config) (float64, float64) {
+	run, cost, _ := ip.TryEvaluate(c)
+	return run, cost
+}
+
+func TestSearchesCompleteUnderFailures(t *testing.T) {
+	// A fallible problem where a third of the space permanently fails:
+	// every search driver must run to completion and report counts.
+	spc := space.New(space.NewIntRange("x", 0, 29), space.NewIntRange("y", 0, 9))
+	fp := &funcFallible{spc: spc, fn: func(c space.Config) (float64, float64, error) {
+		if c[0]%3 == 0 {
+			return 0, 0.2, errors.New("no build")
+		}
+		return 1 + float64(c[0])*0.1 + float64(c[1])*0.01, 1.5, nil
+	}}
+	p := NewResilient(fp, ResilientOptions{Retries: 1})
+
+	res := RS(p, 60, rng.New(3))
+	counts := res.Counts()
+	if counts.Failed == 0 || counts.OK == 0 {
+		t.Fatalf("counts = %+v", counts)
+	}
+	if counts.Total() != len(res.Records) {
+		t.Fatalf("counts total %d vs %d records", counts.Total(), len(res.Records))
+	}
+	best, _, ok := res.Best()
+	if !ok || !best.Measured() {
+		t.Fatalf("no measured best under partial failures")
+	}
+
+	for _, mk := range []func() *Result{
+		func() *Result { return Drive(p, NewAnneal(spc, rng.New(5), 0.9), 40) },
+		func() *Result { return Drive(p, NewGenetic(spc, rng.New(6), 8, 0.2), 40) },
+		func() *Result { return Drive(p, NewPattern(spc, rng.New(7), 4), 40) },
+	} {
+		res := mk()
+		if _, _, ok := res.Best(); !ok {
+			t.Fatalf("heuristic found no measured best")
+		}
+		for _, rec := range res.Records {
+			if rec.Status == StatusFailed && !math.IsInf(rec.RunTime, 1) {
+				t.Fatalf("failed record has run time %v", rec.RunTime)
+			}
+		}
+	}
+}
+
+type funcFallible struct {
+	spc *space.Space
+	fn  func(space.Config) (float64, float64, error)
+}
+
+func (f *funcFallible) Name() string        { return "func@test" }
+func (f *funcFallible) Space() *space.Space { return f.spc }
+func (f *funcFallible) TryEvaluate(c space.Config) (float64, float64, error) {
+	return f.fn(c)
+}
+
+func TestEvaluateFullFlagsNonFinite(t *testing.T) {
+	p := nanProblem{}
+	out := EvaluateFull(p, cfg(1))
+	if out.Status != StatusFailed || !math.IsInf(out.RunTime, 1) {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+type nanProblem struct{}
+
+func (nanProblem) Name() string        { return "nan" }
+func (nanProblem) Space() *space.Space { return space.New(space.NewIntRange("x", 0, 9)) }
+func (nanProblem) Evaluate(space.Config) (float64, float64) {
+	return math.NaN(), 1
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	for _, st := range []Status{StatusOK, StatusCensored, StatusFailed} {
+		got, err := ParseStatus(st.String())
+		if err != nil || got != st {
+			t.Fatalf("round trip %v: %v %v", st, got, err)
+		}
+	}
+	if _, err := ParseStatus("exploded"); err == nil {
+		t.Fatal("unknown status accepted")
+	}
+	rec := Record{Status: StatusOK, Retries: 2}
+	if rec.StatusLabel() != "retried-2" {
+		t.Fatalf("label = %q", rec.StatusLabel())
+	}
+	if fmt.Sprint(StatusCensored) != "censored" {
+		t.Fatal("String not wired into fmt")
+	}
+}

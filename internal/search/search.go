@@ -13,6 +13,7 @@
 package search
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/rng"
@@ -28,6 +29,46 @@ type Problem interface {
 	Evaluate(c space.Config) (runTime, cost float64)
 }
 
+// Status classifies how an evaluation ended.
+type Status uint8
+
+const (
+	// StatusOK is a clean measurement.
+	StatusOK Status = iota
+	// StatusCensored means the run hit the evaluator's timeout cap: the
+	// recorded run time is the cap, a lower bound on the true time.
+	StatusCensored
+	// StatusFailed means the evaluation produced no measurement (compile
+	// failure, or crashes that exhausted the retry budget).
+	StatusFailed
+)
+
+// String renders the status as it appears in reports and saved datasets.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusCensored:
+		return "censored"
+	case StatusFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// ParseStatus is the inverse of Status.String.
+func ParseStatus(s string) (Status, error) {
+	switch s {
+	case "ok":
+		return StatusOK, nil
+	case "censored":
+		return StatusCensored, nil
+	case "failed":
+		return StatusFailed, nil
+	}
+	return StatusOK, fmt.Errorf("search: unknown status %q", s)
+}
+
 // Record is one evaluated configuration, in evaluation order.
 type Record struct {
 	Config  space.Config
@@ -35,6 +76,27 @@ type Record struct {
 	Cost    float64
 	// Elapsed is the cumulative search clock after this evaluation.
 	Elapsed float64
+	// Status classifies the evaluation; the zero value is StatusOK, so
+	// code built before the failure path behaves unchanged.
+	Status Status
+	// Retries counts how many extra attempts the evaluation needed.
+	Retries int
+}
+
+// Measured reports whether the record carries a usable clean measurement:
+// status ok and a finite run time. Censored and failed records are not
+// candidates for "best found".
+func (rec Record) Measured() bool {
+	return rec.Status == StatusOK && !math.IsNaN(rec.RunTime) && !math.IsInf(rec.RunTime, 0)
+}
+
+// StatusLabel renders the record's status for reports, folding the retry
+// count in ("ok", "retried-2", "censored", "failed").
+func (rec Record) StatusLabel() string {
+	if rec.Status == StatusOK && rec.Retries > 0 {
+		return fmt.Sprintf("retried-%d", rec.Retries)
+	}
+	return rec.Status.String()
 }
 
 // Result is the outcome of one search run.
@@ -47,17 +109,56 @@ type Result struct {
 	Skipped int
 }
 
-// Best returns the record with the minimum run time and its index.
-// It returns ok=false for an empty result.
-func (r *Result) Best() (Record, int, bool) {
-	if len(r.Records) == 0 {
-		return Record{}, 0, false
+// Counts aggregates the per-status totals of a search run.
+type Counts struct {
+	OK       int // clean measurements (including retried ones)
+	Censored int // runs clipped at the timeout cap
+	Failed   int // evaluations that produced no measurement
+	// Retried counts records that needed at least one retry; Retries is
+	// the total number of extra attempts across the run.
+	Retried int
+	Retries int
+}
+
+// Total returns the number of evaluation records counted.
+func (c Counts) Total() int { return c.OK + c.Censored + c.Failed }
+
+// Counts tallies the result's records by status.
+func (r *Result) Counts() Counts {
+	var c Counts
+	for _, rec := range r.Records {
+		switch rec.Status {
+		case StatusCensored:
+			c.Censored++
+		case StatusFailed:
+			c.Failed++
+		default:
+			c.OK++
+		}
+		if rec.Retries > 0 {
+			c.Retried++
+			c.Retries += rec.Retries
+		}
 	}
-	best := 0
+	return c
+}
+
+// Best returns the measured record with the minimum run time and its
+// index. Failed and censored records are skipped, as are non-finite run
+// times (a NaN must not poison the min comparison); ok=false when no
+// measured record exists.
+func (r *Result) Best() (Record, int, bool) {
+	best := -1
 	for i, rec := range r.Records {
-		if rec.RunTime < r.Records[best].RunTime {
+		if !rec.Measured() {
+			continue
+		}
+		if best < 0 || rec.RunTime < r.Records[best].RunTime {
 			best = i
 		}
+	}
+	if best < 0 {
+		return Record{}, 0, false
 	}
 	return r.Records[best], best, true
 }
@@ -71,23 +172,25 @@ func (r *Result) Elapsed() float64 {
 }
 
 // TimeToReach returns the search clock at which the search first found a
-// configuration with run time <= target, and whether it ever did.
+// measured configuration with run time <= target, and whether it ever
+// did. Censored and failed records never count as reaching a target.
 func (r *Result) TimeToReach(target float64) (float64, bool) {
 	for _, rec := range r.Records {
-		if rec.RunTime <= target {
+		if rec.Measured() && rec.RunTime <= target {
 			return rec.Elapsed, true
 		}
 	}
 	return 0, false
 }
 
-// BestSoFar returns the running minimum run time after each evaluation
-// (the best-found trajectory plotted in Figures 3–5).
+// BestSoFar returns the running minimum measured run time after each
+// evaluation (the best-found trajectory plotted in Figures 3–5). Entries
+// before the first clean measurement are +Inf.
 func (r *Result) BestSoFar() []float64 {
 	out := make([]float64, len(r.Records))
 	best := math.Inf(1)
 	for i, rec := range r.Records {
-		if rec.RunTime < best {
+		if rec.Measured() && rec.RunTime < best {
 			best = rec.RunTime
 		}
 		out[i] = best
@@ -103,15 +206,54 @@ type Dataset []Sample
 type Sample struct {
 	Config  space.Config
 	RunTime float64
+	// Censored marks a run time clipped at a timeout cap: the true time
+	// is at least RunTime. Censored rows round-trip through SaveCSV /
+	// LoadCSV so transfer consumers can weigh them appropriately.
+	Censored bool
 }
 
-// DatasetFrom extracts the training set T_a from a search result.
+// DatasetFrom extracts the training set T_a from a search result. Failed
+// evaluations carry no measurement and are dropped; censored records are
+// kept and flagged.
 func DatasetFrom(res *Result) Dataset {
-	ds := make(Dataset, len(res.Records))
-	for i, rec := range res.Records {
-		ds[i] = Sample{Config: rec.Config, RunTime: rec.RunTime}
+	ds := make(Dataset, 0, len(res.Records))
+	for _, rec := range res.Records {
+		if rec.Status == StatusFailed || math.IsNaN(rec.RunTime) || math.IsInf(rec.RunTime, 0) {
+			continue
+		}
+		ds = append(ds, Sample{
+			Config:   rec.Config,
+			RunTime:  rec.RunTime,
+			Censored: rec.Status == StatusCensored,
+		})
 	}
 	return ds
+}
+
+// Valid returns the rows with finite run times — the subset safe to
+// aggregate or fit models on. A NaN or Inf row (e.g. from a hand-built
+// dataset or a failed evaluation) would otherwise silently poison fits
+// and min comparisons.
+func (d Dataset) Valid() Dataset {
+	out := make(Dataset, 0, len(d))
+	for _, s := range d {
+		if math.IsNaN(s.RunTime) || math.IsInf(s.RunTime, 0) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Uncensored returns the rows that are both valid and not censored.
+func (d Dataset) Uncensored() Dataset {
+	out := make(Dataset, 0, len(d))
+	for _, s := range d.Valid() {
+		if !s.Censored {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Encode converts the dataset into a feature matrix and target vector for
@@ -137,8 +279,12 @@ func newRunner(p Problem, algorithm string) *runner {
 }
 
 func (r *runner) evaluate(c space.Config) Record {
-	run, cost := r.p.Evaluate(c)
-	rec := Record{Config: c.Clone(), RunTime: run, Cost: cost, Elapsed: r.elapsed() + cost}
+	out := EvaluateFull(r.p, c)
+	rec := Record{
+		Config: c.Clone(), RunTime: out.RunTime, Cost: out.Cost,
+		Elapsed: r.elapsed() + out.Cost,
+		Status:  out.Status, Retries: out.Retries,
+	}
 	r.res.Records = append(r.res.Records, rec)
 	return rec
 }
@@ -202,7 +348,7 @@ func (r *Result) SampleBestOverTime(grid []float64) []float64 {
 	rec := 0
 	for i, t := range grid {
 		for rec < len(r.Records) && r.Records[rec].Elapsed <= t {
-			if r.Records[rec].RunTime < best {
+			if r.Records[rec].Measured() && r.Records[rec].RunTime < best {
 				best = r.Records[rec].RunTime
 			}
 			rec++

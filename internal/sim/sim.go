@@ -369,6 +369,14 @@ func Evaluate(base *ir.Nest, spec transform.Spec, tgt Target) (Cost, error) {
 	codeUnits := math.Min(st.unrollProduct, 4096) * float64(len(base.Body))
 	compile := m.CompileBaseS + m.CompileSizeS*math.Sqrt(codeUnits)
 
+	// A non-finite model output would silently poison every downstream
+	// minimum and surrogate fit; surface it as an evaluation error so the
+	// fault-aware layer can record the configuration as failed.
+	if math.IsNaN(run) || math.IsInf(run, 0) || math.IsNaN(compile) || math.IsInf(compile, 0) {
+		return Cost{}, fmt.Errorf("sim: non-finite modeled cost (run=%v compile=%v) for %s on %s",
+			run, compile, base.Name, tgt.Key())
+	}
+
 	return Cost{
 		RunSeconds:     run,
 		CompileSeconds: compile,
