@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race
+.PHONY: check build vet test race crashtest
 
 # check is the full local CI gate: build everything, vet, and run the
 # test suite under the race detector.
@@ -17,3 +17,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# crashtest runs the crash-recovery campaigns verbosely: randomized
+# torn-write kill points, graceful-cancel resume, a real SIGKILL'd
+# child, and the SIGINT end-to-end trial of cmd/autotune.
+crashtest:
+	$(GO) test -v -count=1 ./internal/journal/... ./cmd/autotune/ -run 'Trunc|Cancel|SIGKILL|SIGINT|Resume'

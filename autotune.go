@@ -26,7 +26,7 @@
 // Quick start:
 //
 //	p, _ := autotune.NewKernelProblem("LU", "Sandybridge", "gnu-4.4.7", 1)
-//	res := autotune.RandomSearch(p, 100, 42)
+//	res := autotune.RandomSearch(context.Background(), p, 100, 42)
 //	best, _, _ := res.Best()
 //	fmt.Println(p.Space().String(best.Config), best.RunTime)
 //
@@ -34,11 +34,12 @@
 //
 //	src, _ := autotune.NewKernelProblem("LU", "Westmere", "gnu-4.4.7", 1)
 //	tgt, _ := autotune.NewKernelProblem("LU", "Sandybridge", "gnu-4.4.7", 1)
-//	out, _ := autotune.Transfer(src, tgt, autotune.TransferOptions{Seed: 1})
+//	out, _ := autotune.Transfer(context.Background(), src, tgt, autotune.TransferOptions{Seed: 1})
 //	fmt.Println(out.Speedups["RSb"]) // performance & search-time speedups
 package autotune
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -187,15 +188,16 @@ func NewRTProblem(machineName string) (Problem, error) {
 }
 
 // RandomSearch runs random search without replacement for nmax
-// evaluations with the given seed.
-func RandomSearch(p Problem, nmax int, seed uint64) *Result {
-	return search.RS(p, nmax, rng.New(seed))
+// evaluations with the given seed. Cancelling ctx stops the search at
+// the next evaluation boundary; the partial Result is still valid.
+func RandomSearch(ctx context.Context, p Problem, nmax int, seed uint64) *Result {
+	return search.RS(ctx, p, nmax, rng.New(seed))
 }
 
 // CollectDataset runs RS on a problem and returns the (configuration,
 // run time) samples — the T_a of the paper.
-func CollectDataset(p Problem, nmax int, seed uint64) (*Result, Dataset) {
-	return core.Collect(p, nmax, rng.New(seed))
+func CollectDataset(ctx context.Context, p Problem, nmax int, seed uint64) (*Result, Dataset) {
+	return core.Collect(ctx, p, nmax, rng.New(seed))
 }
 
 // FitSurrogate trains a random-forest surrogate on a dataset.
@@ -205,14 +207,14 @@ func FitSurrogate(ta Dataset, spc *Space, source string, params ForestParams, se
 
 // BiasedSearch runs RSb (Algorithm 2) on the target problem guided by a
 // surrogate trained elsewhere.
-func BiasedSearch(tgt Problem, sur *Surrogate, nmax, poolSize int, seed uint64) *Result {
-	return search.RSb(tgt, sur, search.RSbOptions{NMax: nmax, PoolSize: poolSize}, rng.New(seed))
+func BiasedSearch(ctx context.Context, tgt Problem, sur *Surrogate, nmax, poolSize int, seed uint64) *Result {
+	return search.RSb(ctx, tgt, sur, search.RSbOptions{NMax: nmax, PoolSize: poolSize}, rng.New(seed))
 }
 
 // PrunedSearch runs RSp (Algorithm 1) on the target problem guided by a
 // surrogate trained elsewhere.
-func PrunedSearch(tgt Problem, sur *Surrogate, nmax, poolSize int, deltaPct float64, seed uint64) *Result {
-	return search.RSp(tgt, sur,
+func PrunedSearch(ctx context.Context, tgt Problem, sur *Surrogate, nmax, poolSize int, deltaPct float64, seed uint64) *Result {
+	return search.RSp(ctx, tgt, sur,
 		search.RSpOptions{NMax: nmax, PoolSize: poolSize, DeltaPct: deltaPct},
 		rng.NewNamed(seed, "stream"), rng.NewNamed(seed, "pool"))
 }
@@ -220,8 +222,8 @@ func PrunedSearch(tgt Problem, sur *Surrogate, nmax, poolSize int, deltaPct floa
 // Transfer runs the complete source -> target experiment (collect T_a,
 // fit the surrogate, run RS/RSp/RSb/RSpf/RSbf under common random
 // numbers, compute the paper's speedup metrics).
-func Transfer(src, tgt Problem, opts TransferOptions) (*Outcome, error) {
-	return core.Run(src, tgt, opts)
+func Transfer(ctx context.Context, src, tgt Problem, opts TransferOptions) (*Outcome, error) {
+	return core.Run(ctx, src, tgt, opts)
 }
 
 // FaultProfile returns the default failure profile of a simulated
@@ -246,14 +248,14 @@ func WithResilience(p Problem, opt ResilientOptions) Problem {
 // EnsembleTune runs the OpenTuner-style technique ensemble (simulated
 // annealing, genetic algorithm, pattern search, random) with bandit
 // budget allocation — how the paper tunes HPL and the raytracer.
-func EnsembleTune(p Problem, nmax int, seed uint64) (*Result, map[string]int) {
-	return opentuner.New(opentuner.Options{NMax: nmax}, rng.New(seed)).Run(p)
+func EnsembleTune(ctx context.Context, p Problem, nmax int, seed uint64) (*Result, map[string]int) {
+	return opentuner.New(opentuner.Options{NMax: nmax}, rng.New(seed)).Run(ctx, p)
 }
 
 // RunExperiment executes one of the paper's experiments by id
 // (fig1, fig2, table1..table5, fig3..fig5); see ExperimentIDs.
-func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentReport, error) {
-	return experiments.Run(id, cfg)
+func RunExperiment(ctx context.Context, id string, cfg ExperimentConfig) (*ExperimentReport, error) {
+	return experiments.Run(ctx, id, cfg)
 }
 
 // ExperimentIDs lists the reproducible tables and figures.

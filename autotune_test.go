@@ -1,6 +1,8 @@
 package autotune
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 )
@@ -53,7 +55,7 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := RandomSearch(p, 25, 42)
+	res := RandomSearch(context.Background(), p, 25, 42)
 	if len(res.Records) != 25 {
 		t.Fatalf("RS evaluated %d", len(res.Records))
 	}
@@ -69,7 +71,7 @@ func TestQuickstartFlow(t *testing.T) {
 func TestTransferFlow(t *testing.T) {
 	src, _ := NewKernelProblem("LU", "Westmere", "gnu-4.4.7", 1)
 	tgt, _ := NewKernelProblem("LU", "Sandybridge", "gnu-4.4.7", 1)
-	out, err := Transfer(src, tgt, TransferOptions{
+	out, err := Transfer(context.Background(), src, tgt, TransferOptions{
 		NMax: 30, PoolSize: 800, Seed: 7, Forest: ForestParams{Trees: 30},
 	})
 	if err != nil {
@@ -86,16 +88,16 @@ func TestTransferFlow(t *testing.T) {
 func TestManualSurrogatePipeline(t *testing.T) {
 	src, _ := NewKernelProblem("MM", "Westmere", "gnu-4.4.7", 1)
 	tgt, _ := NewKernelProblem("MM", "Sandybridge", "gnu-4.4.7", 1)
-	_, ta := CollectDataset(src, 30, 11)
+	_, ta := CollectDataset(context.Background(), src, 30, 11)
 	sur, err := FitSurrogate(ta, src.Space(), src.Name(), ForestParams{Trees: 25}, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
-	biased := BiasedSearch(tgt, sur, 15, 500, 13)
+	biased := BiasedSearch(context.Background(), tgt, sur, 15, 500, 13)
 	if len(biased.Records) != 15 {
 		t.Fatalf("RSb evaluated %d", len(biased.Records))
 	}
-	pruned := PrunedSearch(tgt, sur, 15, 500, 20, 14)
+	pruned := PrunedSearch(context.Background(), tgt, sur, 15, 500, 20, 14)
 	if len(pruned.Records) == 0 {
 		t.Fatal("RSp evaluated nothing")
 	}
@@ -116,7 +118,7 @@ func TestMiniAppProblems(t *testing.T) {
 	if rt.Space().NumParams() != 247 {
 		t.Fatalf("RT has %d parameters, want 143+104", rt.Space().NumParams())
 	}
-	res, pulls := EnsembleTune(hpl, 40, 5)
+	res, pulls := EnsembleTune(context.Background(), hpl, 40, 5)
 	if len(res.Records) != 40 || len(pulls) == 0 {
 		t.Fatal("ensemble tuning failed")
 	}
@@ -152,7 +154,7 @@ func TestExperimentFacade(t *testing.T) {
 	if len(ids) != 15 {
 		t.Fatalf("expected 15 experiments, got %d", len(ids))
 	}
-	rep, err := RunExperiment("table2", ExperimentConfig{Seed: 1})
+	rep, err := RunExperiment(context.Background(), "table2", ExperimentConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +165,7 @@ func TestExperimentFacade(t *testing.T) {
 
 func TestDatasetAndSurrogatePersistence(t *testing.T) {
 	src, _ := NewKernelProblem("LU", "Westmere", "gnu-4.4.7", 1)
-	_, ta := CollectDataset(src, 25, 3)
+	_, ta := CollectDataset(context.Background(), src, 25, 3)
 
 	var csv strings.Builder
 	if err := SaveDataset(&csv, ta, src.Space()); err != nil {
@@ -205,7 +207,7 @@ func TestWithFaultsFacade(t *testing.T) {
 	if fp.Name() != p.Name() {
 		t.Fatal("fault wrapper changed the problem identity")
 	}
-	res := RandomSearch(fp, 60, 21)
+	res := RandomSearch(context.Background(), fp, 60, 21)
 	counts := res.Counts()
 	if counts.Total() != len(res.Records) {
 		t.Fatalf("counts total %d vs %d records", counts.Total(), len(res.Records))
@@ -217,7 +219,7 @@ func TestWithFaultsFacade(t *testing.T) {
 		t.Fatal("no clean best under partial failures")
 	}
 	// Determinism: the same seed reproduces the same statuses.
-	res2 := RandomSearch(WithFaults(p, rates, 21, ResilientOptions{Retries: 2}), 60, 21)
+	res2 := RandomSearch(context.Background(), WithFaults(p, rates, 21, ResilientOptions{Retries: 2}), 60, 21)
 	if res2.Counts() != counts {
 		t.Fatalf("fault injection not deterministic: %+v vs %+v", res2.Counts(), counts)
 	}

@@ -12,6 +12,8 @@ package autotune
 //	go run ./cmd/experiments -exp all
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/core"
@@ -37,7 +39,7 @@ func runExperiment(b *testing.B, id string, metrics map[string]string) {
 	var rep *experiments.Report
 	var err error
 	for i := 0; i < b.N; i++ {
-		rep, err = experiments.Run(id, benchConfig(2016))
+		rep, err = experiments.Run(context.Background(), id, benchConfig(2016))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +136,7 @@ func benchTransfer(b *testing.B, opts core.Options) {
 	var out *core.Outcome
 	var err error
 	for i := 0; i < b.N; i++ {
-		out, err = core.Run(src, tgt, opts)
+		out, err = core.Run(context.Background(), src, tgt, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -170,7 +172,7 @@ func BenchmarkAblationDelta(b *testing.B) {
 			var out *core.Outcome
 			var err error
 			for i := 0; i < b.N; i++ {
-				out, err = core.Run(src, tgt, opts)
+				out, err = core.Run(context.Background(), src, tgt, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -201,14 +203,14 @@ func BenchmarkAblationTrainSize(b *testing.B) {
 			var speedup core.Speedups
 			for i := 0; i < b.N; i++ {
 				seed := uint64(2016)
-				_, ta := core.Collect(src, n, rng.NewNamed(seed, "collect"))
+				_, ta := core.Collect(context.Background(), src, n, rng.NewNamed(seed, "collect"))
 				sur, err := core.FitSurrogate(ta, src.Space(), src.Name(),
 					forest.Params{Trees: 50}, rng.NewNamed(seed, "forest"))
 				if err != nil {
 					b.Fatal(err)
 				}
-				rs := search.RS(tgt, 50, rng.NewNamed(seed, "rs"))
-				rsb := search.RSb(tgt, sur, search.RSbOptions{NMax: 50, PoolSize: 2000},
+				rs := search.RS(context.Background(), tgt, 50, rng.NewNamed(seed, "rs"))
+				rsb := search.RSb(context.Background(), tgt, sur, search.RSbOptions{NMax: 50, PoolSize: 2000},
 					rng.NewNamed(seed, "pool"))
 				speedup = core.ComputeSpeedups(rs, rsb)
 			}
@@ -228,13 +230,13 @@ func BenchmarkAblationSurrogate(b *testing.B) {
 			var speedup core.Speedups
 			for i := 0; i < b.N; i++ {
 				seed := uint64(2016)
-				_, ta := core.Collect(src, 50, rng.NewNamed(seed, "collect"))
+				_, ta := core.Collect(context.Background(), src, 50, rng.NewNamed(seed, "collect"))
 				m, err := core.FitFamily(fam, ta, src.Space(), seed)
 				if err != nil {
 					b.Fatal(err)
 				}
-				rs := search.RS(tgt, 50, rng.NewNamed(seed, "rs"))
-				rsb := search.RSb(tgt, m, search.RSbOptions{NMax: 50, PoolSize: 2000},
+				rs := search.RS(context.Background(), tgt, 50, rng.NewNamed(seed, "rs"))
+				rsb := search.RSb(context.Background(), tgt, m, search.RSbOptions{NMax: 50, PoolSize: 2000},
 					rng.NewNamed(seed, "pool"))
 				speedup = core.ComputeSpeedups(rs, rsb)
 			}

@@ -6,26 +6,48 @@
 //	autotune -problem LU -machine Sandybridge [-compiler gnu-4.4.7]
 //	         [-threads 1] [-algo rs|sa|ga|ps|ensemble] [-nmax 100] [-seed 42]
 //	         [-faults 0.3] [-retries 2] [-timeout 30]
+//	         [-journal DIR] [-resume DIR] [-throttle 50ms]
 //
 // Problems: MM, ATAX, COR, LU (SPAPT kernels), HPL, RT (mini-apps), or
 // -annotation FILE for a kernel in the annotation language.
 //
 // -faults F injects evaluation failures at total rate F (the machine's
 // failure profile scaled so compile failures + crashes + hangs = F);
-// -retries and -timeout set the resilient evaluator's budgets. Exit
-// codes: 0 success, 1 runtime failure, 2 bad usage (unknown problem,
-// machine, compiler, or algorithm).
+// -retries and -timeout set the resilient evaluator's budgets.
+//
+// -journal DIR records every evaluation in a crash-safe append-only log
+// under DIR: each record is checksummed and fsync'd before the search
+// observes it, so a crash, power loss, or signal at any instant leaves a
+// journal that resumes bit-exactly. SIGINT or SIGTERM drains the current
+// evaluation, writes a final checkpoint, and exits with code 3; running
+// again with -resume DIR (remaining settings are adopted from the
+// journal) continues the search to the same final result an
+// uninterrupted run would have produced. -throttle D pauses D of wall
+// time per evaluation — it changes nothing about the result, only makes
+// fast simulated runs interruptible (demos, tests).
+//
+// Exit codes: 0 success, 1 runtime failure, 2 bad usage (unknown
+// problem, machine, compiler, or algorithm; mismatched resume), 3
+// interrupted by SIGINT/SIGTERM (with -journal the journal is left
+// resumable).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/annotate"
 	"repro/internal/codegen"
 	"repro/internal/faults"
+	"repro/internal/journal"
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/miniapps"
@@ -38,9 +60,10 @@ import (
 )
 
 const (
-	exitOK    = 0
-	exitError = 1
-	exitUsage = 2
+	exitOK          = 0
+	exitError       = 1
+	exitUsage       = 2
+	exitInterrupted = 3
 )
 
 func main() { os.Exit(run()) }
@@ -58,10 +81,45 @@ func run() int {
 		faultRate  = flag.Float64("faults", 0, "total injected failure rate in [0,1) (0 disables)")
 		retries    = flag.Int("retries", 2, "max retries per transient evaluation failure")
 		timeout    = flag.Float64("timeout", 0, "per-evaluation run-time cap in seconds (0 disables censoring)")
+		journalDir = flag.String("journal", "", "crash-safe journal directory (created or resumed)")
+		resumeDir  = flag.String("resume", "", "resume an interrupted run from its journal directory")
+		throttle   = flag.Duration("throttle", 0, "wall-clock pause per evaluation (makes simulated runs interruptible)")
 		verbose    = flag.Bool("v", false, "print every evaluation")
 		emit       = flag.Bool("emit", false, "print the best variant as C code (kernel problems)")
 	)
 	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *resumeDir != "" {
+		if *journalDir != "" && *journalDir != *resumeDir {
+			fmt.Fprintln(os.Stderr, "autotune: -journal and -resume name different directories")
+			return exitUsage
+		}
+		*journalDir = *resumeDir
+		if !journal.Exists(*resumeDir) {
+			fmt.Fprintf(os.Stderr, "autotune: %s holds no journal to resume\n", *resumeDir)
+			return exitUsage
+		}
+		m, err := journal.ReadMeta(*resumeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", err)
+			return exitUsage
+		}
+		// Adopt the journaled run's settings for every flag the user did
+		// not set explicitly; explicit conflicts surface as a meta
+		// mismatch below rather than silently forking the run.
+		if err := adoptMeta(m, explicit, map[string]any{
+			"problem": problem, "annotation": annotation,
+			"machine": machineN, "compiler": compilerN,
+			"threads": threads, "algo": algo,
+			"faults": faultRate, "retries": retries, "timeout": timeout,
+		}, nmax, seed); err != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", err)
+			return exitUsage
+		}
+	}
 
 	if *faultRate < 0 || *faultRate >= 1 {
 		fmt.Fprintf(os.Stderr, "autotune: -faults must be in [0,1), got %v\n", *faultRate)
@@ -88,26 +146,48 @@ func run() int {
 			Timeout: *timeout,
 		})
 	}
+	if *throttle > 0 {
+		p = throttled{Problem: p, d: *throttle}
+	}
 
-	r := rng.New(*seed)
-	var res *search.Result
-	switch *algo {
-	case "rs":
-		res = search.RS(p, *nmax, r)
-	case "sa":
-		res = search.Drive(p, search.NewAnneal(p.Space(), r, 0.95), *nmax)
-	case "ga":
-		res = search.Drive(p, search.NewGenetic(p.Space(), r, 16, 0.15), *nmax)
-	case "ps":
-		res = search.Drive(p, search.NewPattern(p.Space(), r, 4), *nmax)
-	case "ensemble":
-		tuner := opentuner.New(opentuner.Options{NMax: *nmax}, r)
-		var pulls map[string]int
-		res, pulls = tuner.Run(p)
-		defer func() { fmt.Printf("technique pulls: %v\n", pulls) }()
-	default:
-		fmt.Fprintf(os.Stderr, "autotune: unknown algorithm %q (known: rs, sa, ga, ps, ensemble)\n", *algo)
-		return exitUsage
+	// SIGINT/SIGTERM cancel the context; searches drain the evaluation in
+	// flight and stop at the next boundary, so a journaled run always
+	// exits through its final checkpoint.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	var (
+		res   *search.Result
+		info  *journal.RunInfo
+		pulls map[string]int
+	)
+	if *journalDir != "" {
+		res, info, err = runJournaled(ctx, *journalDir, p, *algo, *nmax, *seed, metaExtra(
+			*problem, *annotation, *machineN, *compilerN, *threads, *algo, *faultRate, *retries, *timeout), &pulls)
+	} else {
+		res, err = runDirect(ctx, p, *algo, *nmax, *seed, &pulls)
+	}
+	// Read the interruption state before stopSignals: the stop function
+	// cancels the context itself, which must not read as a signal.
+	interrupted := ctx.Err() != nil && (info == nil || !info.Done)
+	stopSignals()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autotune:", err)
+		if errors.Is(err, journal.ErrMetaMismatch) {
+			return exitUsage
+		}
+		return exitError
+	}
+
+	if info != nil && info.Resumed {
+		path := "replay"
+		if info.FastPath {
+			path = "checkpoint fast path"
+		}
+		fmt.Printf("resumed:     %d journaled evaluations (%s)\n", info.Prior, path)
+	}
+	if pulls != nil {
+		fmt.Printf("technique pulls: %v\n", pulls)
 	}
 
 	if *verbose {
@@ -117,20 +197,30 @@ func run() int {
 		}
 	}
 	best, idx, ok := res.Best()
+	if ok {
+		fmt.Printf("problem:     %s\n", p.Name())
+		fmt.Printf("algorithm:   %s, %d evaluations\n", res.Algorithm, len(res.Records))
+		if counts := res.Counts(); counts.Failed > 0 || counts.Censored > 0 || counts.Retried > 0 {
+			fmt.Printf("statuses:    %d ok, %d censored, %d failed, %d retried (%d extra attempts)\n",
+				counts.OK, counts.Censored, counts.Failed, counts.Retried, counts.Retries)
+		}
+		fmt.Printf("best config: %s\n", p.Space().String(best.Config))
+		fmt.Printf("best run:    %.4f s (found after %d evaluations, %.1f s of search)\n",
+			best.RunTime, idx+1, res.Records[idx].Elapsed)
+		fmt.Printf("search time: %.1f s total\n", res.Elapsed())
+	}
+
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "autotune: interrupted after %d evaluations\n", len(res.Records))
+		if *journalDir != "" {
+			fmt.Fprintf(os.Stderr, "autotune: journal saved; continue with: autotune -resume %s\n", *journalDir)
+		}
+		return exitInterrupted
+	}
 	if !ok {
 		fmt.Fprintln(os.Stderr, "autotune: no successful evaluations (every configuration failed)")
 		return exitError
 	}
-	fmt.Printf("problem:     %s\n", p.Name())
-	fmt.Printf("algorithm:   %s, %d evaluations\n", res.Algorithm, len(res.Records))
-	if counts := res.Counts(); counts.Failed > 0 || counts.Censored > 0 || counts.Retried > 0 {
-		fmt.Printf("statuses:    %d ok, %d censored, %d failed, %d retried (%d extra attempts)\n",
-			counts.OK, counts.Censored, counts.Failed, counts.Retried, counts.Retries)
-	}
-	fmt.Printf("best config: %s\n", p.Space().String(best.Config))
-	fmt.Printf("best run:    %.4f s (found after %d evaluations, %.1f s of search)\n",
-		best.RunTime, idx+1, res.Records[idx].Elapsed)
-	fmt.Printf("search time: %.1f s total\n", res.Elapsed())
 
 	if *emit {
 		if err := emitBest(p, best.Config); err != nil {
@@ -141,10 +231,149 @@ func run() int {
 	return exitOK
 }
 
+// runDirect runs the chosen algorithm without journaling.
+func runDirect(ctx context.Context, p search.Problem, algo string, nmax int, seed uint64,
+	pulls *map[string]int) (*search.Result, error) {
+
+	drive, err := driveFor(algo, nmax, seed, pulls)
+	if err != nil {
+		return nil, err
+	}
+	return drive(ctx, p), nil
+}
+
+// runJournaled runs the chosen algorithm through the crash-safe journal
+// in dir, creating it or resuming bit-exactly from what it holds.
+func runJournaled(ctx context.Context, dir string, p search.Problem, algo string, nmax int,
+	seed uint64, extra map[string]string, pulls *map[string]int) (*search.Result, *journal.RunInfo, error) {
+
+	if algo == "rs" {
+		// Random search gets the checkpoint fast path: resume continues
+		// directly from the restored sampler stream, no replay.
+		return journal.RunRS(ctx, dir, p, nmax, seed, extra, journal.WrapOptions{})
+	}
+	drive, err := driveFor(algo, nmax, seed, pulls)
+	if err != nil {
+		return nil, nil, err
+	}
+	meta := journal.Meta{Problem: p.Name(), Algorithm: algo, Seed: seed, NMax: nmax, Extra: extra}
+	return journal.Run(ctx, dir, meta, p, journal.WrapOptions{}, drive)
+}
+
+// driveFor returns the deterministic driver for one algorithm: the same
+// closure serves fresh runs and journal replays, so both draw the same
+// random streams.
+func driveFor(algo string, nmax int, seed uint64, pulls *map[string]int) (
+	func(context.Context, search.Problem) *search.Result, error) {
+
+	switch algo {
+	case "rs":
+		return func(ctx context.Context, p search.Problem) *search.Result {
+			return search.RS(ctx, p, nmax, rng.New(seed))
+		}, nil
+	case "sa":
+		return func(ctx context.Context, p search.Problem) *search.Result {
+			r := rng.New(seed)
+			return search.Drive(ctx, p, search.NewAnneal(p.Space(), r, 0.95), nmax)
+		}, nil
+	case "ga":
+		return func(ctx context.Context, p search.Problem) *search.Result {
+			r := rng.New(seed)
+			return search.Drive(ctx, p, search.NewGenetic(p.Space(), r, 16, 0.15), nmax)
+		}, nil
+	case "ps":
+		return func(ctx context.Context, p search.Problem) *search.Result {
+			r := rng.New(seed)
+			return search.Drive(ctx, p, search.NewPattern(p.Space(), r, 4), nmax)
+		}, nil
+	case "ensemble":
+		return func(ctx context.Context, p search.Problem) *search.Result {
+			tuner := opentuner.New(opentuner.Options{NMax: nmax}, rng.New(seed))
+			res, pl := tuner.Run(ctx, p)
+			*pulls = pl
+			return res
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (known: rs, sa, ga, ps, ensemble)", algo)
+}
+
+// metaExtra pins every setting that shapes evaluation semantics into the
+// journal meta, so a resume under different settings is refused instead
+// of silently mixing two runs. -throttle is deliberately absent: it only
+// spends wall time.
+func metaExtra(problem, annotation, machineN, compilerN string, threads int, algo string,
+	faultRate float64, retries int, timeout float64) map[string]string {
+	return map[string]string{
+		"problem":    problem,
+		"annotation": annotation,
+		"machine":    machineN,
+		"compiler":   compilerN,
+		"threads":    strconv.Itoa(threads),
+		"algo":       algo,
+		"faults":     strconv.FormatFloat(faultRate, 'g', -1, 64),
+		"retries":    strconv.Itoa(retries),
+		"timeout":    strconv.FormatFloat(timeout, 'g', -1, 64),
+	}
+}
+
+// adoptMeta fills every flag the user left unset from the journaled
+// run's meta, so `autotune -resume DIR` alone continues the run.
+func adoptMeta(m journal.Meta, explicit map[string]bool, flags map[string]any,
+	nmax *int, seed *uint64) error {
+
+	if !explicit["nmax"] {
+		*nmax = m.NMax
+	}
+	if !explicit["seed"] {
+		*seed = m.Seed
+	}
+	for name, dst := range flags {
+		v, ok := m.Extra[name]
+		if explicit[name] || !ok {
+			continue
+		}
+		var err error
+		switch d := dst.(type) {
+		case *string:
+			*d = v
+		case *int:
+			*d, err = strconv.Atoi(v)
+		case *float64:
+			*d, err = strconv.ParseFloat(v, 64)
+		}
+		if err != nil {
+			return fmt.Errorf("journal meta %s=%q: %w", name, v, err)
+		}
+	}
+	return nil
+}
+
+// throttled pauses a fixed wall-clock duration before each evaluation.
+// The pause is interruptible and changes nothing about outcomes, so it
+// is not journaled.
+type throttled struct {
+	search.Problem
+	d time.Duration
+}
+
+func (t throttled) EvaluateFull(ctx context.Context, c space.Config) search.Outcome {
+	timer := time.NewTimer(t.d)
+	select {
+	case <-ctx.Done():
+		timer.Stop()
+	case <-timer.C:
+	}
+	return search.EvaluateFull(ctx, t.Problem, c)
+}
+
 // unwrapped peels the fault-injection and resilience layers off a
 // problem, returning the underlying one.
 func unwrapped(p search.Problem) search.Problem {
 	for {
+		if t, ok := p.(throttled); ok {
+			p = t.Problem
+			continue
+		}
 		if res, ok := p.(*search.Resilient); ok {
 			if u, ok := res.P.(interface{ Unwrap() search.Problem }); ok {
 				p = u.Unwrap()

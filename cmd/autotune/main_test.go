@@ -1,12 +1,29 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/journal"
 	"repro/internal/kernels"
 )
+
+// TestMain lets the test binary stand in for the autotune command: when
+// re-exec'd with AUTOTUNE_E2E_MAIN=1 it runs main() for the end-to-end
+// signal tests below.
+func TestMain(m *testing.M) {
+	if os.Getenv("AUTOTUNE_E2E_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
 
 func TestBuildProblemVariants(t *testing.T) {
 	if _, err := buildProblem("LU", "", "Sandybridge", "gnu-4.4.7", 1); err != nil {
@@ -69,5 +86,123 @@ func TestEmitBestRequiresKernelProblem(t *testing.T) {
 	lu, _ := buildProblem("LU", "", "Sandybridge", "gnu-4.4.7", 1)
 	if _, ok := lu.(*kernels.Problem); !ok {
 		t.Fatal("kernel problem type assertion broken")
+	}
+}
+
+// autotuneCmd re-execs the test binary as the autotune command.
+func autotuneCmd(args ...string) (*exec.Cmd, *bytes.Buffer) {
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "AUTOTUNE_E2E_MAIN=1")
+	out := new(bytes.Buffer)
+	cmd.Stdout = out
+	cmd.Stderr = out
+	return cmd, out
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("command failed without an exit code: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// grepLine returns the first output line with the given prefix.
+func grepLine(out, prefix string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return line
+		}
+	}
+	return ""
+}
+
+func TestSIGINTLeavesResumableJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec trial skipped in -short mode")
+	}
+	jdir := filepath.Join(t.TempDir(), "journal")
+	runFlags := []string{
+		"-problem", "MM", "-machine", "Sandybridge",
+		"-algo", "rs", "-nmax", "60", "-seed", "7",
+		"-faults", "0.3", "-retries", "2", "-timeout", "30",
+	}
+
+	// Interrupt a throttled run mid-flight.
+	child, childOut := autotuneCmd(append(runFlags, "-journal", jdir, "-throttle", "15ms")...)
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(250 * time.Millisecond)
+	if err := child.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if code := exitCode(t, child.Wait()); code != exitInterrupted {
+		t.Fatalf("interrupted run exited %d, want %d; output:\n%s", code, exitInterrupted, childOut)
+	}
+
+	// The journaled partial result must load cleanly.
+	s, err := journal.Open(jdir)
+	if err != nil {
+		t.Fatalf("journal unreadable after SIGINT: %v", err)
+	}
+	n := s.Len()
+	if _, err := s.Records(); err != nil {
+		t.Fatalf("journaled partial records unreadable: %v", err)
+	}
+	if s.Done() {
+		t.Fatal("interrupted journal claims completion")
+	}
+	s.Close()
+	if n == 0 {
+		t.Fatalf("no evaluations journaled before SIGINT; output:\n%s", childOut)
+	}
+	if n >= 60 {
+		t.Fatalf("run completed (%d evals) before the signal landed", n)
+	}
+	t.Logf("SIGINT landed after %d journaled evaluations", n)
+
+	// Resume (settings adopted from the journal) and an uninterrupted
+	// reference run must agree on the final best.
+	resume, resumeOut := autotuneCmd("-resume", jdir)
+	if code := exitCode(t, resume.Run()); code != exitOK {
+		t.Fatalf("resume exited %d; output:\n%s", code, resumeOut)
+	}
+	ref, refOut := autotuneCmd(runFlags...)
+	if code := exitCode(t, ref.Run()); code != exitOK {
+		t.Fatalf("reference run exited %d; output:\n%s", code, refOut)
+	}
+	for _, prefix := range []string{"best config:", "best run:", "search time:"} {
+		got, want := grepLine(resumeOut.String(), prefix), grepLine(refOut.String(), prefix)
+		if got == "" || got != want {
+			t.Fatalf("resumed %q line differs:\n  resumed:   %s\n  reference: %s\nfull resume output:\n%s",
+				prefix, got, want, resumeOut)
+		}
+	}
+	if !strings.Contains(resumeOut.String(), "resumed:") {
+		t.Fatalf("resume output does not report resumption:\n%s", resumeOut)
+	}
+}
+
+func TestResumeRefusesMismatchedSettings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec trial skipped in -short mode")
+	}
+	jdir := filepath.Join(t.TempDir(), "journal")
+	first, firstOut := autotuneCmd("-problem", "ATAX", "-algo", "rs", "-nmax", "10", "-seed", "3", "-journal", jdir)
+	if code := exitCode(t, first.Run()); code != exitOK {
+		t.Fatalf("journaled run exited %d; output:\n%s", code, firstOut)
+	}
+	clash, clashOut := autotuneCmd("-resume", jdir, "-problem", "MM")
+	if code := exitCode(t, clash.Run()); code != exitUsage {
+		t.Fatalf("mismatched resume exited %d, want %d; output:\n%s", code, exitUsage, clashOut)
+	}
+	missing, _ := autotuneCmd("-resume", filepath.Join(t.TempDir(), "nope"))
+	if code := exitCode(t, missing.Run()); code != exitUsage {
+		t.Fatalf("resume of missing journal exited %d, want %d", code, exitUsage)
 	}
 }

@@ -4,23 +4,48 @@
 //
 //	experiments [-exp all|fig1,fig3,table4] [-seed N] [-quick]
 //	            [-nmax N] [-pool N] [-trees N] [-outdir DIR] [-values]
+//	            [-resume DIR]
 //
 // Each experiment prints its report to stdout. With -outdir, the tables
-// are additionally written as CSV and the named values as .txt files.
+// are additionally written as CSV and the named values as .txt files;
+// every file is written to a temporary name and atomically renamed, so
+// a crash never leaves a half-written report.
+//
+// With -outdir the command also keeps a progress file (progress.txt)
+// naming each completed experiment. SIGINT or SIGTERM stops the sweep at
+// the next experiment boundary and exits with code 3; -resume DIR
+// (implies -outdir DIR) skips the experiments the progress file records,
+// after checking it was written under the same configuration.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 bad usage, 3 interrupted
+// (progress saved when -outdir/-resume is set).
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 )
 
-func main() {
+const (
+	exitOK          = 0
+	exitError       = 1
+	exitUsage       = 2
+	exitInterrupted = 3
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		exp    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		seed   = flag.Uint64("seed", 2016, "random seed")
@@ -30,26 +55,59 @@ func main() {
 		trees  = flag.Int("trees", 0, "surrogate forest size (default 100)")
 		outdir = flag.String("outdir", "", "directory for CSV/value exports")
 		values = flag.Bool("values", false, "also print the named scalar values")
+		resume = flag.String("resume", "", "resume an interrupted sweep from DIR's progress file (implies -outdir DIR)")
 	)
 	flag.Parse()
+
+	if *resume != "" {
+		if *outdir != "" && *outdir != *resume {
+			fmt.Fprintln(os.Stderr, "experiments: -outdir and -resume name different directories")
+			return exitUsage
+		}
+		*outdir = *resume
+	}
 
 	cfg := experiments.Config{Seed: *seed, NMax: *nmax, PoolSize: *pool, Trees: *trees}
 	if *quick {
 		cfg = experiments.Quick(*seed)
 	}
+	cfgLine := fmt.Sprintf("# cfg seed=%d quick=%v nmax=%d pool=%d trees=%d",
+		*seed, *quick, *nmax, *pool, *trees)
 
 	ids := experiments.IDs()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
 
+	completed, err := loadProgress(*outdir, cfgLine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return exitUsage
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	interrupted := false
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
+		if completed[id] {
+			fmt.Printf("[%s already completed, skipped]\n\n", id)
+			continue
+		}
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		start := time.Now()
-		rep, err := experiments.Run(id, cfg)
+		rep, err := experiments.Run(ctx, id, cfg)
 		if err != nil {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return exitError
 		}
 		fmt.Println(rep.Text)
 		if *values {
@@ -61,37 +119,116 @@ func main() {
 		if *outdir != "" {
 			if err := export(*outdir, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: export: %v\n", err)
-				os.Exit(1)
+				return exitError
+			}
+			completed[id] = true
+			if err := writeProgress(*outdir, cfgLine, ids, completed); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: progress: %v\n", err)
+				return exitError
 			}
 		}
 	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted")
+		if *outdir != "" {
+			fmt.Fprintf(os.Stderr, "experiments: progress saved; continue with: experiments -resume %s\n", *outdir)
+		}
+		return exitInterrupted
+	}
+	return exitOK
+}
+
+const progressFile = "progress.txt"
+
+// loadProgress reads dir's progress file: the configuration line it was
+// written under (refusing a resume under a different one) followed by
+// one completed experiment id per line.
+func loadProgress(dir, cfgLine string) (map[string]bool, error) {
+	completed := map[string]bool{}
+	if dir == "" {
+		return completed, nil
+	}
+	data, err := os.ReadFile(filepath.Join(dir, progressFile))
+	if os.IsNotExist(err) {
+		return completed, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || lines[0] != cfgLine {
+		return nil, fmt.Errorf("progress file %s was written under %q, run is %q; pass matching flags or remove it",
+			filepath.Join(dir, progressFile), strings.TrimPrefix(lines[0], "# cfg "), strings.TrimPrefix(cfgLine, "# cfg "))
+	}
+	for _, line := range lines[1:] {
+		if line = strings.TrimSpace(line); line != "" {
+			completed[line] = true
+		}
+	}
+	return completed, nil
+}
+
+// writeProgress atomically replaces the progress file, listing completed
+// ids in sweep order.
+func writeProgress(dir, cfgLine string, ids []string, completed map[string]bool) error {
+	var b strings.Builder
+	b.WriteString(cfgLine)
+	b.WriteByte('\n')
+	for _, id := range ids {
+		if id = strings.TrimSpace(id); completed[id] {
+			b.WriteString(id)
+			b.WriteByte('\n')
+		}
+	}
+	return writeFileAtomic(filepath.Join(dir, progressFile), []byte(b.String()))
 }
 
 func export(dir string, rep *experiments.Report) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, rep.ID+".txt"), []byte(rep.Text), 0o644); err != nil {
+	if err := writeFileAtomic(filepath.Join(dir, rep.ID+".txt"), []byte(rep.Text)); err != nil {
 		return err
 	}
 	if len(rep.Values) > 0 {
 		path := filepath.Join(dir, rep.ID+"-values.txt")
-		if err := os.WriteFile(path, []byte(experiments.Summary(rep)), 0o644); err != nil {
+		if err := writeFileAtomic(path, []byte(experiments.Summary(rep))); err != nil {
 			return err
 		}
 	}
 	for i, tb := range rep.Tables {
-		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s-table%d.csv", rep.ID, i)))
-		if err != nil {
+		var buf bytes.Buffer
+		if err := tb.WriteCSV(&buf); err != nil {
 			return err
 		}
-		if err := tb.WriteCSV(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		path := filepath.Join(dir, fmt.Sprintf("%s-table%d.csv", rep.ID, i))
+		if err := writeFileAtomic(path, buf.Bytes()); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeFileAtomic writes data to a temporary file in path's directory,
+// fsyncs it, and renames it over path: readers see the old report or the
+// new one, never a torn mix.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

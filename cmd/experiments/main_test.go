@@ -1,15 +1,18 @@
 package main
 
 import (
+	"context"
+
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/experiments"
 )
 
 func TestExportWritesArtifacts(t *testing.T) {
-	rep, err := experiments.Run("table3", experiments.Quick(1))
+	rep, err := experiments.Run(context.Background(), "table3", experiments.Quick(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,5 +28,54 @@ func TestExportWritesArtifacts(t *testing.T) {
 	data, _ := os.ReadFile(filepath.Join(dir, "table3-table0.csv"))
 	if len(data) == 0 {
 		t.Fatal("empty CSV")
+	}
+	// Atomic writes must not leave temporary files behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temporary file %s", e.Name())
+		}
+	}
+}
+
+func TestProgressRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfgLine := "# cfg seed=1 quick=true nmax=0 pool=0 trees=0"
+	ids := []string{"fig1", "fig2", "table3"}
+
+	got, err := loadProgress(dir, cfgLine)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("fresh dir: got %v, %v", got, err)
+	}
+	if err := writeProgress(dir, cfgLine, ids, map[string]bool{"fig2": true, "fig1": true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = loadProgress(dir, cfgLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["fig1"] || !got["fig2"] || got["table3"] {
+		t.Fatalf("progress round-trip: %v", got)
+	}
+	// A different configuration must be refused, not silently mixed.
+	if _, err := loadProgress(dir, "# cfg seed=2 quick=true nmax=0 pool=0 trees=0"); err == nil {
+		t.Fatal("mismatched configuration accepted")
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	if err := writeFileAtomic(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "new" {
+		t.Fatalf("got %q, %v", data, err)
 	}
 }

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"os"
@@ -54,7 +56,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	out, err := core.Run(src, tgt, core.Options{
+	out, err := core.Run(context.Background(), src, tgt, core.Options{
 		NMax: *nmax, PoolSize: *pool, DeltaPct: *delta,
 		Forest: forest.Params{Trees: *trees}, Seed: *seed,
 	})

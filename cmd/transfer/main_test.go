@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+
 	"os"
 	"path/filepath"
 	"testing"
@@ -27,7 +29,7 @@ func TestWriteArtifacts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ta := core.Collect(src, 15, rng.New(1))
+	_, ta := core.Collect(context.Background(), src, 15, rng.New(1))
 	dir := t.TempDir()
 
 	taPath := filepath.Join(dir, "ta.csv")

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +45,7 @@ func main() {
 		os.Exit(1)
 	}
 	p := kernels.NewProblem(k, sim.Target{Machine: m, Compiler: machine.GNU, Threads: 1})
-	_, ta := core.Collect(p, *n, rng.NewNamed(*seed, "treeviz"))
+	_, ta := core.Collect(context.Background(), p, *n, rng.NewNamed(*seed, "treeviz"))
 	X, y := ta.Encode(k.Space())
 
 	if *asForest {

@@ -1,6 +1,8 @@
 package autotune_test
 
 import (
+	"context"
+
 	"fmt"
 
 	autotune "repro"
@@ -13,7 +15,7 @@ func ExampleRandomSearch() {
 	if err != nil {
 		panic(err)
 	}
-	res := autotune.RandomSearch(p, 50, 42)
+	res := autotune.RandomSearch(context.Background(), p, 50, 42)
 	best, _, _ := res.Best()
 	fmt.Printf("evaluated %d configurations, best run %.2f s\n",
 		len(res.Records), best.RunTime)
@@ -26,7 +28,7 @@ func ExampleRandomSearch() {
 func ExampleTransfer() {
 	src, _ := autotune.NewKernelProblem("LU", "Westmere", "gnu-4.4.7", 1)
 	tgt, _ := autotune.NewKernelProblem("LU", "Sandybridge", "gnu-4.4.7", 1)
-	out, err := autotune.Transfer(src, tgt, autotune.TransferOptions{
+	out, err := autotune.Transfer(context.Background(), src, tgt, autotune.TransferOptions{
 		NMax: 50, PoolSize: 2000, Seed: 2016,
 	})
 	if err != nil {

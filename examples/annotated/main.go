@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -60,7 +62,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	out, err := autotune.Transfer(src, tgt, autotune.TransferOptions{Seed: 31})
+	out, err := autotune.Transfer(context.Background(), src, tgt, autotune.TransferOptions{Seed: 31})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -25,7 +27,7 @@ func main() {
 	fmt.Printf("flag space: %d parameters, %.3g configurations\n",
 		sandy.Space().NumParams(), sandy.Space().Size())
 
-	out, err := autotune.Transfer(west, sandy, autotune.TransferOptions{Seed: 5})
+	out, err := autotune.Transfer(context.Background(), west, sandy, autotune.TransferOptions{Seed: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

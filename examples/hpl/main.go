@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -22,7 +24,7 @@ func main() {
 
 	// Ensemble tuning (SA + GA + pattern search + random under a UCB
 	// bandit), as the paper does with OpenTuner.
-	res, pulls := autotune.EnsembleTune(sandy, 100, 1)
+	res, pulls := autotune.EnsembleTune(context.Background(), sandy, 100, 1)
 	best, _, _ := res.Best()
 	fmt.Printf("ensemble best on Sandybridge: %.1f s\n", best.RunTime)
 	fmt.Printf("  %s\n", sandy.Space().String(best.Config))
@@ -33,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := autotune.Transfer(west, sandy, autotune.TransferOptions{Seed: 3})
+	out, err := autotune.Transfer(context.Background(), west, sandy, autotune.TransferOptions{Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -22,7 +24,7 @@ func main() {
 
 	// 100 evaluations of random search without replacement (the paper's
 	// budget), seeded for reproducibility.
-	result := autotune.RandomSearch(problem, 100, 42)
+	result := autotune.RandomSearch(context.Background(), problem, 100, 42)
 
 	best, foundAt, _ := result.Best()
 	fmt.Printf("evaluated %d configurations in %.0f simulated seconds\n",

@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -25,7 +27,7 @@ func main() {
 	// fit the random-forest surrogate, and race RS against the pruning
 	// (RSp), biasing (RSb), and model-free (RSpf, RSbf) variants on the
 	// target under common random numbers.
-	out, err := autotune.Transfer(src, tgt, autotune.TransferOptions{
+	out, err := autotune.Transfer(context.Background(), src, tgt, autotune.TransferOptions{
 		NMax:     100,   // evaluation budget per algorithm
 		PoolSize: 10000, // configuration pool N
 		DeltaPct: 20,    // RSp cutoff quantile

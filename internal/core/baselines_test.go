@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -141,12 +143,12 @@ func TestFamiliesRankOnKernelData(t *testing.T) {
 	// linear baseline (the nonlinearity argument for recursive
 	// partitioning in the paper's Section III-A).
 	lu := problemForFamilies(t)
-	_, ta := Collect(lu, 80, rng.New(31))
+	_, ta := Collect(context.Background(), lu, 80, rng.New(31))
 	spc := lu.Space()
 	X, _ := ta.Encode(spc)
 
 	// Held-out sample.
-	_, test := Collect(lu, 60, rng.New(32))
+	_, test := Collect(context.Background(), lu, 60, rng.New(32))
 	truth := make([]float64, len(test))
 	testX := make([][]float64, len(test))
 	for i, s := range test {

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -68,8 +69,8 @@ func FitSurrogate(ta search.Dataset, spc *space.Space, source string, p forest.P
 
 // Collect runs plain RS on the source problem and returns both the full
 // search result and the extracted training set T_a.
-func Collect(src search.Problem, nmax int, r *rng.RNG) (*search.Result, search.Dataset) {
-	res := search.RS(src, nmax, r)
+func Collect(ctx context.Context, src search.Problem, nmax int, r *rng.RNG) (*search.Result, search.Dataset) {
+	res := search.RS(ctx, src, nmax, r)
 	return res, search.DatasetFrom(res)
 }
 
@@ -177,8 +178,11 @@ type Outcome struct {
 
 // Run executes the transfer experiment: collect Ta on the source, fit
 // M_a, then run RS and all four variants on the target under common
-// random numbers, and compute the paper's metrics.
-func Run(src, tgt search.Problem, opt Options) (*Outcome, error) {
+// random numbers, and compute the paper's metrics. Cancelling ctx
+// drains whichever search phase is running between evaluations; the
+// partial outcome is still internally consistent, but callers should
+// treat it as incomplete (check ctx.Err after Run returns).
+func Run(ctx context.Context, src, tgt search.Problem, opt Options) (*Outcome, error) {
 	opt = opt.withDefaults()
 	if src.Space().NumParams() != tgt.Space().NumParams() {
 		return nil, fmt.Errorf("core: source and target must share the configuration space (paper assumption D(α) fixed)")
@@ -188,7 +192,7 @@ func Run(src, tgt search.Problem, opt Options) (*Outcome, error) {
 
 	// Phase 1: collect Ta on the source machine with the shared stream.
 	streamSeed := rng.NewNamed(opt.Seed, "crn-stream")
-	out.SourceRS, out.Ta = Collect(src, opt.NMax, streamSeed)
+	out.SourceRS, out.Ta = Collect(ctx, src, opt.NMax, streamSeed)
 
 	// Phase 2: fit the surrogate. When the source search lost too many
 	// evaluations to failures, the surrogate cannot be trusted; instead
@@ -211,32 +215,32 @@ func Run(src, tgt search.Problem, opt Options) (*Outcome, error) {
 	for i, rec := range out.SourceRS.Records {
 		srcSeq[i] = rec.Config
 	}
-	out.RS = search.Replay(tgt, srcSeq, "RS")
+	out.RS = search.Replay(ctx, tgt, srcSeq, "RS")
 
 	if sur != nil {
 		// RSp walks the same candidate stream as RS (fresh
 		// identically-seeded stream) and prunes with the surrogate.
-		out.RSp = search.RSp(tgt, sur,
+		out.RSp = search.RSp(ctx, tgt, sur,
 			search.RSpOptions{NMax: opt.NMax, PoolSize: opt.PoolSize, DeltaPct: opt.DeltaPct},
 			rng.NewNamed(opt.Seed, "crn-stream"), rng.NewNamed(opt.Seed, "pool"))
 
 		// RSb greedily evaluates the pool in ascending predicted order.
-		out.RSb = search.RSb(tgt, sur,
+		out.RSb = search.RSb(ctx, tgt, sur,
 			search.RSbOptions{NMax: opt.NMax, PoolSize: opt.PoolSize},
 			rng.NewNamed(opt.Seed, "pool"))
 	} else {
 		// Fallback: plain RS on the variants' own streams, so the
 		// experiment still yields five complete runs (the variants just
 		// bring no knowledge).
-		out.RSp = search.RS(tgt, opt.NMax, rng.NewNamed(opt.Seed, "crn-stream"))
+		out.RSp = search.RS(ctx, tgt, opt.NMax, rng.NewNamed(opt.Seed, "crn-stream"))
 		out.RSp.Algorithm = "RSp(RS-fallback)"
-		out.RSb = search.RS(tgt, opt.NMax, rng.NewNamed(opt.Seed, "pool"))
+		out.RSb = search.RS(ctx, tgt, opt.NMax, rng.NewNamed(opt.Seed, "pool"))
 		out.RSb.Algorithm = "RSb(RS-fallback)"
 	}
 
 	// Model-free controls restricted to Ta (empty Ta yields empty runs).
-	out.RSpf = search.RSpf(tgt, out.Ta, opt.DeltaPct)
-	out.RSbf = search.RSbf(tgt, out.Ta)
+	out.RSpf = search.RSpf(ctx, tgt, out.Ta, opt.DeltaPct)
+	out.RSbf = search.RSbf(ctx, tgt, out.Ta)
 
 	for name, res := range map[string]*search.Result{
 		"RSp": out.RSp, "RSb": out.RSb, "RSpf": out.RSpf, "RSbf": out.RSbf,
@@ -253,6 +257,9 @@ func Run(src, tgt search.Problem, opt Options) (*Outcome, error) {
 	// configuration on the target, giving exact pairs; pairs where
 	// either side failed to measure are dropped.
 	for i, srcRec := range out.SourceRS.Records {
+		if i >= len(out.RS.Records) {
+			break // replay drained early by cancellation
+		}
 		tgtRec := out.RS.Records[i]
 		if !srcRec.Measured() || !tgtRec.Measured() {
 			continue
@@ -269,6 +276,9 @@ func Run(src, tgt search.Problem, opt Options) (*Outcome, error) {
 	if sur != nil {
 		var preds, tgtRuns []float64
 		for i, srcRec := range out.SourceRS.Records {
+			if i >= len(out.RS.Records) {
+				break
+			}
 			tgtRec := out.RS.Records[i]
 			if !srcRec.Measured() || !tgtRec.Measured() {
 				continue

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -37,7 +38,7 @@ func smallOpts(seed uint64) Options {
 }
 
 func TestRunProducesCompleteOutcome(t *testing.T) {
-	out, err := Run(problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), smallOpts(1))
+	out, err := Run(context.Background(), problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), smallOpts(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestRunProducesCompleteOutcome(t *testing.T) {
 func TestCommonRandomNumbers(t *testing.T) {
 	// The target RS must evaluate exactly the configurations of Ta, in
 	// Ta's order — the paper's variance-reduction setup.
-	out, err := Run(problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), smallOpts(2))
+	out, err := Run(context.Background(), problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), smallOpts(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,11 +76,11 @@ func TestCommonRandomNumbers(t *testing.T) {
 }
 
 func TestDeterministicOutcome(t *testing.T) {
-	a, err := Run(problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), smallOpts(3))
+	a, err := Run(context.Background(), problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), smallOpts(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), smallOpts(3))
+	b, err := Run(context.Background(), problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), smallOpts(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func fullOpts(seed uint64) Options {
 func TestIntelPairCorrelatesAndRSbWins(t *testing.T) {
 	// Westmere -> Sandybridge on LU: the paper's headline case. The
 	// correlation must be strong and RSb must succeed.
-	out, err := Run(problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), fullOpts(2016))
+	out, err := Run(context.Background(), problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), fullOpts(2016))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestBiasingBeatsPruning(t *testing.T) {
 	var sumB, sumP float64
 	seeds := []uint64{1, 2, 3}
 	for _, seed := range seeds {
-		out, err := Run(problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), fullOpts(seed))
+		out, err := Run(context.Background(), problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), fullOpts(seed))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func TestBiasingBeatsPruning(t *testing.T) {
 }
 
 func TestModelFreeVariantsRestrictedToTa(t *testing.T) {
-	out, err := Run(problem(t, "MM", machine.Westmere), problem(t, "MM", machine.Sandybridge), smallOpts(5))
+	out, err := Run(context.Background(), problem(t, "MM", machine.Westmere), problem(t, "MM", machine.Sandybridge), smallOpts(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestModelFreeVariantsRestrictedToTa(t *testing.T) {
 }
 
 func TestRSbfOrderedBySourceTime(t *testing.T) {
-	out, err := Run(problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), smallOpts(6))
+	out, err := Run(context.Background(), problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), smallOpts(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestTransferFailsOnXGene(t *testing.T) {
 	var sumPerf, sumCorr float64
 	seeds := []uint64{1, 2, 3}
 	for _, seed := range seeds {
-		out, err := Run(problem(t, "LU", machine.Sandybridge), problem(t, "LU", machine.XGene), fullOpts(seed))
+		out, err := Run(context.Background(), problem(t, "LU", machine.Sandybridge), problem(t, "LU", machine.XGene), fullOpts(seed))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,13 +254,13 @@ func TestFitSurrogateErrors(t *testing.T) {
 func TestMismatchedSpacesRejected(t *testing.T) {
 	mm := problem(t, "MM", machine.Westmere)
 	lu := problem(t, "LU", machine.Sandybridge)
-	if _, err := Run(mm, lu, smallOpts(7)); err == nil {
+	if _, err := Run(context.Background(), mm, lu, smallOpts(7)); err == nil {
 		t.Fatal("cross-kernel transfer with different spaces accepted")
 	}
 }
 
 func TestSurrogateTracksTarget(t *testing.T) {
-	out, err := Run(problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), smallOpts(8))
+	out, err := Run(context.Background(), problem(t, "LU", machine.Westmere), problem(t, "LU", machine.Sandybridge), smallOpts(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func mustMachine(t *testing.T, name string) machine.Machine {
 }
 
 func TestOutcomeInternalConsistency(t *testing.T) {
-	out, err := Run(problem(t, "COR", machine.Westmere), problem(t, "COR", machine.Sandybridge), smallOpts(41))
+	out, err := Run(context.Background(), problem(t, "COR", machine.Westmere), problem(t, "COR", machine.Sandybridge), smallOpts(41))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestTransferFallsBackWhenSourceFails(t *testing.T) {
 	src := search.NewResilient(
 		faults.Wrap(problem(t, "LU", machine.Westmere), faults.Rates{CompileFail: 0.97}, 77),
 		search.ResilientOptions{Retries: 1})
-	out, err := Run(src, problem(t, "LU", machine.Sandybridge), smallOpts(7))
+	out, err := Run(context.Background(), src, problem(t, "LU", machine.Sandybridge), smallOpts(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +376,7 @@ func TestRunWithModerateFaultsStaysConsistent(t *testing.T) {
 			faults.Wrap(p, faults.Profile(p.Name()).ScaledTo(0.30), seed),
 			search.ResilientOptions{Retries: 2, Backoff: 0.5})
 	}
-	out, err := Run(
+	out, err := Run(context.Background(),
 		wrap(problem(t, "LU", machine.Westmere), 5),
 		wrap(problem(t, "LU", machine.Sandybridge), 6),
 		smallOpts(9))

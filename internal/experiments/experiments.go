@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -91,7 +92,7 @@ type Report struct {
 	Values map[string]float64
 }
 
-type runner func(Config) (*Report, error)
+type runner func(context.Context, Config) (*Report, error)
 
 type registryEntry struct {
 	title string
@@ -120,14 +121,20 @@ func IDs() []string {
 		"ext-robustness"}
 }
 
-// Run executes one experiment by id.
-func Run(id string, cfg Config) (*Report, error) {
+// Run executes one experiment by id. Cancelling ctx drains the
+// experiment's searches between evaluations and surfaces the context
+// error instead of a partial report (a half-run experiment's numbers
+// must never be mistaken for results).
+func Run(ctx context.Context, id string, cfg Config) (*Report, error) {
 	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
 			id, strings.Join(IDs(), ", "))
 	}
-	rep, err := e.run(cfg.WithDefaults())
+	rep, err := e.run(ctx, cfg.WithDefaults())
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("experiments: %s interrupted: %w", id, cerr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}

@@ -1,13 +1,15 @@
 package experiments
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 )
 
 func run(t *testing.T, id string, cfg Config) *Report {
 	t.Helper()
-	rep, err := Run(id, cfg)
+	rep, err := Run(context.Background(), id, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,7 +20,7 @@ func run(t *testing.T, id string, cfg Config) *Report {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if _, err := Run("fig99", Quick(1)); err == nil {
+	if _, err := Run(context.Background(), "fig99", Quick(1)); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

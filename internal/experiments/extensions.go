@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -33,7 +34,7 @@ func init() {
 // source machine and deploys it at different input sizes on the target:
 // "we will also investigate whether the proposed approach can be
 // generalized for different input sizes".
-func runExtInputSize(cfg Config) (*Report, error) {
+func runExtInputSize(ctx context.Context, cfg Config) (*Report, error) {
 	srcKernel := kernels.MM(2000)
 	srcProb := kernels.NewProblem(srcKernel,
 		sim.Target{Machine: machine.Westmere, Compiler: machine.GNU, Threads: 1})
@@ -49,7 +50,7 @@ func runExtInputSize(cfg Config) (*Report, error) {
 			sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
 		opts := transferOpts(cfg)
 		opts.Seed = cfg.Seed ^ rng.Hash64(fmt.Sprintf("ext-size-%d", n))
-		out, err := core.Run(srcProb, tgtProb, opts)
+		out, err := core.Run(ctx, srcProb, tgtProb, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +73,7 @@ func runExtInputSize(cfg Config) (*Report, error) {
 // counterparts on the target machine: "we will test the proposed
 // approach with other sophisticated search algorithms in order to
 // achieve performance improvements."
-func runExtAlgos(cfg Config) (*Report, error) {
+func runExtAlgos(ctx context.Context, cfg Config) (*Report, error) {
 	lu, err := kernels.ByName("LU")
 	if err != nil {
 		return nil, err
@@ -81,7 +82,7 @@ func runExtAlgos(cfg Config) (*Report, error) {
 	tgt := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
 
 	seed := cfg.Seed ^ rng.Hash64("ext-algos")
-	_, ta := core.Collect(src, cfg.NMax, rng.NewNamed(seed, "collect"))
+	_, ta := core.Collect(ctx, src, cfg.NMax, rng.NewNamed(seed, "collect"))
 	sur, err := core.FitSurrogate(ta, lu.Space(), src.Name(), transferOpts(cfg).Forest,
 		rng.NewNamed(seed, "forest"))
 	if err != nil {
@@ -110,22 +111,22 @@ func runExtAlgos(cfg Config) (*Report, error) {
 		}{name, res})
 	}
 
-	add("RS", search.RS(tgt, cfg.NMax, rng.NewNamed(seed, "rs")))
-	add("RSb", search.RSb(tgt, sur, search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize},
+	add("RS", search.RS(ctx, tgt, cfg.NMax, rng.NewNamed(seed, "rs")))
+	add("RSb", search.RSb(ctx, tgt, sur, search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize},
 		rng.NewNamed(seed, "pool")))
-	add("SA", search.Drive(tgt, search.NewAnneal(lu.Space(), rng.NewNamed(seed, "sa"), 0.95), cfg.NMax))
+	add("SA", search.Drive(ctx, tgt, search.NewAnneal(lu.Space(), rng.NewNamed(seed, "sa"), 0.95), cfg.NMax))
 	warmSA := search.NewAnneal(lu.Space(), rng.NewNamed(seed, "sa+model"), 0.95)
 	warmSA.SetStart(warm)
-	add("SA+model", search.Drive(tgt, warmSA, cfg.NMax))
-	add("GA", search.Drive(tgt, search.NewGenetic(lu.Space(), rng.NewNamed(seed, "ga"), 16, 0.15), cfg.NMax))
-	add("PS", search.Drive(tgt, search.NewPattern(lu.Space(), rng.NewNamed(seed, "ps"), 4), cfg.NMax))
+	add("SA+model", search.Drive(ctx, tgt, warmSA, cfg.NMax))
+	add("GA", search.Drive(ctx, tgt, search.NewGenetic(lu.Space(), rng.NewNamed(seed, "ga"), 16, 0.15), cfg.NMax))
+	add("PS", search.Drive(ctx, tgt, search.NewPattern(lu.Space(), rng.NewNamed(seed, "ps"), 4), cfg.NMax))
 	// Active learning: RSb that refits the surrogate on source+target
 	// observations every 10 evaluations.
 	refit := func(d search.Dataset) (search.Model, error) {
 		return core.FitSurrogate(d, lu.Space(), "refit", transferOpts(cfg).Forest,
 			rng.NewNamed(seed, "refit"))
 	}
-	rsba, err := search.RSbA(tgt, sur, ta,
+	rsba, err := search.RSbA(ctx, tgt, sur, ta,
 		search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize}, 10, refit,
 		rng.NewNamed(seed, "pool"))
 	if err != nil {
@@ -155,7 +156,7 @@ func runExtAlgos(cfg Config) (*Report, error) {
 }
 
 // runExtSurrogates ablates the supervised-learning family behind M_a.
-func runExtSurrogates(cfg Config) (*Report, error) {
+func runExtSurrogates(ctx context.Context, cfg Config) (*Report, error) {
 	lu, err := kernels.ByName("LU")
 	if err != nil {
 		return nil, err
@@ -164,8 +165,8 @@ func runExtSurrogates(cfg Config) (*Report, error) {
 	tgt := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
 
 	seed := cfg.Seed ^ rng.Hash64("ext-surrogates")
-	_, ta := core.Collect(src, cfg.NMax, rng.NewNamed(seed, "collect"))
-	rs := search.RS(tgt, cfg.NMax, rng.NewNamed(seed, "collect"))
+	_, ta := core.Collect(ctx, src, cfg.NMax, rng.NewNamed(seed, "collect"))
+	rs := search.RS(ctx, tgt, cfg.NMax, rng.NewNamed(seed, "collect"))
 
 	tb := tabulate.NewTable("Surrogate families guiding RSb on LU Westmere -> Sandybridge",
 		"Family", "RSb best [s]", "Prf.Imp", "Srh.Imp")
@@ -177,7 +178,7 @@ func runExtSurrogates(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := search.RSb(tgt, m, search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize},
+		res := search.RSb(ctx, tgt, m, search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize},
 			rng.NewNamed(seed, "pool"))
 		sp := core.ComputeSpeedups(rs, res)
 		bst, _, _ := res.Best()
@@ -193,7 +194,7 @@ func runExtSurrogates(cfg Config) (*Report, error) {
 // transfer across independent seeds and reports medians with a Wilcoxon
 // signed-rank test of the variants' best-found run times against RS —
 // the statistical treatment the paper's single-run protocol leaves out.
-func runExtReplicates(cfg Config) (*Report, error) {
+func runExtReplicates(ctx context.Context, cfg Config) (*Report, error) {
 	lu, err := kernels.ByName("LU")
 	if err != nil {
 		return nil, err
@@ -211,7 +212,7 @@ func runExtReplicates(cfg Config) (*Report, error) {
 	for rep := 0; rep < replicates; rep++ {
 		opts := transferOpts(cfg)
 		opts.Seed = cfg.Seed ^ rng.Hash64(fmt.Sprintf("replicate-%d", rep))
-		out, err := core.Run(src, tgt, opts)
+		out, err := core.Run(ctx, src, tgt, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -18,7 +19,7 @@ import (
 
 // runFig1 reproduces Figure 1: the run times of random LU configurations
 // on Westmere and Sandybridge, with Pearson and Spearman coefficients.
-func runFig1(cfg Config) (*Report, error) {
+func runFig1(ctx context.Context, cfg Config) (*Report, error) {
 	lu, err := kernels.ByName("LU")
 	if err != nil {
 		return nil, err
@@ -29,6 +30,9 @@ func runFig1(cfg Config) (*Report, error) {
 	seq := search.Sequence(lu.Space(), cfg.CorrelationSamples, rng.NewNamed(cfg.Seed, "fig1"))
 	var w, s []float64
 	for _, c := range seq {
+		if ctx.Err() != nil {
+			break
+		}
 		rw, _ := west.Evaluate(c)
 		rs, _ := sandy.Evaluate(c)
 		w = append(w, rw)
@@ -60,13 +64,13 @@ func runFig1(cfg Config) (*Report, error) {
 
 // runFig2 reproduces Figure 2: a decision tree fit to MM data collected
 // on Sandybridge, rendered as if/else rules over the kernel's parameters.
-func runFig2(cfg Config) (*Report, error) {
+func runFig2(ctx context.Context, cfg Config) (*Report, error) {
 	mm, err := kernels.ByName("MM")
 	if err != nil {
 		return nil, err
 	}
 	sandy := kernels.NewProblem(mm, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
-	_, ta := core.Collect(sandy, cfg.NMax, rng.NewNamed(cfg.Seed, "fig2"))
+	_, ta := core.Collect(ctx, sandy, cfg.NMax, rng.NewNamed(cfg.Seed, "fig2"))
 	X, y := ta.Encode(mm.Space())
 	tree, err := forest.FitTree(X, y, forest.TreeParams{MaxDepth: 3, MinLeaf: 5}, nil)
 	if err != nil {
@@ -93,7 +97,7 @@ func runFig2(cfg Config) (*Report, error) {
 // source -> target figure and renders the three panel columns of
 // Figures 3-5: model-based trajectories, model-free trajectories, and
 // the correlation scatter.
-func transferFigure(cfg Config, workloads []string,
+func transferFigure(ctx context.Context, cfg Config, workloads []string,
 	srcM, tgtM machine.Machine, comp machine.Compiler, srcThreads, tgtThreads int) (*Report, error) {
 
 	var b strings.Builder
@@ -112,7 +116,7 @@ func transferFigure(cfg Config, workloads []string,
 		opts := transferOpts(cfg)
 		// One source RS stream per workload, as in the paper's setup.
 		opts.Seed = cfg.Seed ^ rng.Hash64("wl-"+wl)
-		out, err := core.Run(src, tgt, opts)
+		out, err := core.Run(ctx, src, tgt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -192,19 +196,19 @@ func finiteOnly(xs []float64) []float64 {
 	return out
 }
 
-func runFig3(cfg Config) (*Report, error) {
-	return transferFigure(cfg, []string{"ATAX", "LU", "HPL", "RT"},
+func runFig3(ctx context.Context, cfg Config) (*Report, error) {
+	return transferFigure(ctx, cfg, []string{"ATAX", "LU", "HPL", "RT"},
 		machine.Westmere, machine.Sandybridge, machine.GNU, 1, 1)
 }
 
-func runFig4(cfg Config) (*Report, error) {
-	return transferFigure(cfg, []string{"ATAX", "LU", "HPL", "RT"},
+func runFig4(ctx context.Context, cfg Config) (*Report, error) {
+	return transferFigure(ctx, cfg, []string{"ATAX", "LU", "HPL", "RT"},
 		machine.Sandybridge, machine.Power7, machine.GNU, 1, 1)
 }
 
-func runFig5(cfg Config) (*Report, error) {
+func runFig5(ctx context.Context, cfg Config) (*Report, error) {
 	// Xeon Phi experiments: Intel compiler, OpenMP with 8 threads on the
 	// big cores and 60 on the Phi (Section V).
-	return transferFigure(cfg, []string{"MM", "LU", "COR"},
+	return transferFigure(ctx, cfg, []string{"MM", "LU", "COR"},
 		machine.Sandybridge, machine.XeonPhi, machine.Intel, 8, 60)
 }

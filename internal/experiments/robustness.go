@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,7 +45,7 @@ func faulty(p search.Problem, machineName string, rate float64, seed uint64) sea
 	})
 }
 
-func runExtRobustness(cfg Config) (*Report, error) {
+func runExtRobustness(ctx context.Context, cfg Config) (*Report, error) {
 	lu, err := kernels.ByName("LU")
 	if err != nil {
 		return nil, err
@@ -71,7 +72,7 @@ func runExtRobustness(cfg Config) (*Report, error) {
 
 		opts := transferOpts(cfg)
 		opts.Seed = cfg.Seed // same candidate streams at every rate: only the faults differ
-		out, err := core.Run(src, tgt, opts)
+		out, err := core.Run(ctx, src, tgt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -110,7 +111,7 @@ func runExtRobustness(cfg Config) (*Report, error) {
 		search.ResilientOptions{Retries: 1, Backoff: 0.5})
 	opts := transferOpts(cfg)
 	opts.Seed = cfg.Seed
-	out, err := core.Run(src, newTgt(), opts)
+	out, err := core.Run(ctx, src, newTgt(), opts)
 	if err != nil {
 		return nil, err
 	}

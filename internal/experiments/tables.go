@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -14,7 +15,7 @@ import (
 )
 
 // runTable1 prints the transformation catalogue of Table I.
-func runTable1(Config) (*Report, error) {
+func runTable1(context.Context, Config) (*Report, error) {
 	tb := tabulate.NewTable("", "Transformation", "Description", "Range")
 	tb.AddRow("Loop unrolling", "data reuse", "1, ..., 31, 32")
 	tb.AddRow("Cache tiling", "cache hits", "2^0, ..., 2^10, 2^11")
@@ -35,7 +36,7 @@ func runTable1(Config) (*Report, error) {
 }
 
 // runTable2 prints the machine set of Table II.
-func runTable2(Config) (*Report, error) {
+func runTable2(context.Context, Config) (*Report, error) {
 	tb := tabulate.NewTable("", "Name", "Processor", "Cores", "Clock (GHz)",
 		"L1 (KB)", "L2 (KB)", "L3 (MB)", "Memory (GB)")
 	values := map[string]float64{}
@@ -59,7 +60,7 @@ func runTable2(Config) (*Report, error) {
 
 // runTable3 prints the kernel collection of Table III alongside the
 // paper's published sizes.
-func runTable3(Config) (*Report, error) {
+func runTable3(context.Context, Config) (*Report, error) {
 	paper := map[string]float64{"MM": 8.58e10, "ATAX": 2.57e12, "COR": 8.57e10, "LU": 5.83e8}
 	tb := tabulate.NewTable("", "Kernel", "n_i", "Search Space Size", "Paper Size", "Input Size")
 	values := map[string]float64{}
@@ -78,7 +79,7 @@ func runTable3(Config) (*Report, error) {
 
 // speedupGrid runs the biased model variant over a source x target grid
 // and renders it in the layout of Tables IV and V.
-func speedupGrid(cfg Config, workloads []string, sources, targets []machine.Machine,
+func speedupGrid(ctx context.Context, cfg Config, workloads []string, sources, targets []machine.Machine,
 	comp machine.Compiler, threadsFor func(machine.Machine) int,
 	skip func(workload string, tgt machine.Machine) bool) (*Report, error) {
 
@@ -138,7 +139,7 @@ func speedupGrid(cfg Config, workloads []string, sources, targets []machine.Mach
 				}
 				opts := transferOpts(cfg)
 				opts.Seed = cfg.Seed ^ rng.Hash64("wl-"+job.wl)
-				out, err := core.Run(src, tgt, opts)
+				out, err := core.Run(ctx, src, tgt, opts)
 				if err != nil {
 					results[i] = cellOut{err: err}
 					continue
@@ -193,7 +194,7 @@ func speedupGrid(cfg Config, workloads []string, sources, targets []machine.Mach
 }
 
 // runTable4 reproduces Table IV: the full GNU-compiler grid.
-func runTable4(cfg Config) (*Report, error) {
+func runTable4(ctx context.Context, cfg Config) (*Report, error) {
 	sources := []machine.Machine{machine.Westmere, machine.Sandybridge, machine.Power7}
 	targets := []machine.Machine{machine.Westmere, machine.Sandybridge, machine.Power7, machine.XGene}
 	workloads := []string{"MM", "ATAX", "LU", "COR", "HPL", "RT"}
@@ -204,7 +205,7 @@ func runTable4(cfg Config) (*Report, error) {
 		// COR.
 		return m.Name == machine.XGene.Name && (wl == "MM" || wl == "COR")
 	}
-	rep, err := speedupGrid(cfg, workloads, sources, targets, machine.GNU,
+	rep, err := speedupGrid(ctx, cfg, workloads, sources, targets, machine.GNU,
 		func(machine.Machine) int { return 1 }, skip)
 	if err != nil {
 		return nil, err
@@ -216,7 +217,7 @@ func runTable4(cfg Config) (*Report, error) {
 
 // runTable5 reproduces Table V: the Xeon Phi grid under the Intel
 // compiler with OpenMP (8 threads on the big cores, 60 on the Phi).
-func runTable5(cfg Config) (*Report, error) {
+func runTable5(ctx context.Context, cfg Config) (*Report, error) {
 	ms := []machine.Machine{machine.Westmere, machine.Sandybridge, machine.XeonPhi}
 	threads := func(m machine.Machine) int {
 		if m.Name == machine.XeonPhi.Name {
@@ -224,7 +225,7 @@ func runTable5(cfg Config) (*Report, error) {
 		}
 		return 8
 	}
-	rep, err := speedupGrid(cfg, []string{"MM", "LU", "COR"}, ms, ms, machine.Intel, threads, nil)
+	rep, err := speedupGrid(ctx, cfg, []string{"MM", "LU", "COR"}, ms, ms, machine.Intel, threads, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@
 package opentuner
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -92,7 +93,9 @@ func DefaultEnsemble(spc *space.Space, r *rng.RNG) []search.Technique {
 
 // Run tunes the problem with the ensemble, returning the search result
 // (algorithm name "OpenTuner") and the per-technique pull counts.
-func (t *Tuner) Run(p search.Problem) (*search.Result, map[string]int) {
+// Cancelling ctx drains the ensemble between evaluations, like the
+// search package's algorithms.
+func (t *Tuner) Run(ctx context.Context, p search.Problem) (*search.Result, map[string]int) {
 	if len(t.arms) == 0 {
 		for _, tech := range DefaultEnsemble(p.Space(), t.r) {
 			t.arms = append(t.arms, &arm{tech: tech, window: t.opt.Window})
@@ -104,7 +107,7 @@ func (t *Tuner) Run(p search.Problem) (*search.Result, map[string]int) {
 	elapsed := 0.0
 	totalPulls := 0
 
-	for len(res.Records) < t.opt.NMax {
+	for len(res.Records) < t.opt.NMax && ctx.Err() == nil {
 		a := t.pick(totalPulls)
 		totalPulls++
 		a.pulls++
@@ -127,7 +130,10 @@ func (t *Tuner) Run(p search.Problem) (*search.Result, map[string]int) {
 			a.addReward(0)
 			continue
 		}
-		out := search.EvaluateFull(p, c)
+		out := search.EvaluateFull(ctx, p, c)
+		if out.Interrupted() {
+			break
+		}
 		seen[c.Key()] = out.RunTime
 		elapsed += out.Cost
 		res.Records = append(res.Records, search.Record{

@@ -1,6 +1,8 @@
 package opentuner
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -34,7 +36,7 @@ func (p *rosen) Evaluate(c space.Config) (float64, float64) {
 
 func TestTunerRespectsBudget(t *testing.T) {
 	tun := New(Options{NMax: 60}, rng.New(1))
-	res, pulls := tun.Run(newRosen())
+	res, pulls := tun.Run(context.Background(), newRosen())
 	if len(res.Records) != 60 {
 		t.Fatalf("evaluated %d configs, budget 60", len(res.Records))
 	}
@@ -51,8 +53,8 @@ func TestTunerRespectsBudget(t *testing.T) {
 }
 
 func TestTunerDeterministic(t *testing.T) {
-	r1, _ := New(Options{NMax: 50}, rng.New(7)).Run(newRosen())
-	r2, _ := New(Options{NMax: 50}, rng.New(7)).Run(newRosen())
+	r1, _ := New(Options{NMax: 50}, rng.New(7)).Run(context.Background(), newRosen())
+	r2, _ := New(Options{NMax: 50}, rng.New(7)).Run(context.Background(), newRosen())
 	b1, _, _ := r1.Best()
 	b2, _, _ := r2.Best()
 	if b1.RunTime != b2.RunTime || len(r1.Records) != len(r2.Records) {
@@ -61,7 +63,7 @@ func TestTunerDeterministic(t *testing.T) {
 }
 
 func TestTunerImprovesOverBudget(t *testing.T) {
-	res, _ := New(Options{NMax: 120}, rng.New(3)).Run(newRosen())
+	res, _ := New(Options{NMax: 120}, rng.New(3)).Run(context.Background(), newRosen())
 	best, _, _ := res.Best()
 	if best.RunTime > 3 {
 		t.Fatalf("ensemble best %.2f after 120 evals on rosenbrock grid", best.RunTime)
@@ -73,9 +75,9 @@ func TestTunerBeatsOrMatchesPureRandom(t *testing.T) {
 	// pure random sampling with the same budget.
 	var ensWins int
 	for seed := uint64(1); seed <= 5; seed++ {
-		res, _ := New(Options{NMax: 80}, rng.New(seed)).Run(newRosen())
+		res, _ := New(Options{NMax: 80}, rng.New(seed)).Run(context.Background(), newRosen())
 		ensBest, _, _ := res.Best()
-		rs := search.RS(newRosen(), 80, rng.New(seed+100))
+		rs := search.RS(context.Background(), newRosen(), 80, rng.New(seed+100))
 		rsBest, _, _ := rs.Best()
 		if ensBest.RunTime <= rsBest.RunTime {
 			ensWins++
@@ -87,7 +89,7 @@ func TestTunerBeatsOrMatchesPureRandom(t *testing.T) {
 }
 
 func TestNoDuplicateEvaluations(t *testing.T) {
-	res, _ := New(Options{NMax: 100}, rng.New(11)).Run(newRosen())
+	res, _ := New(Options{NMax: 100}, rng.New(11)).Run(context.Background(), newRosen())
 	seen := map[string]bool{}
 	for _, rec := range res.Records {
 		if seen[rec.Config.Key()] {
@@ -98,7 +100,7 @@ func TestNoDuplicateEvaluations(t *testing.T) {
 }
 
 func TestBanditShiftsBudgetTowardProductiveArms(t *testing.T) {
-	_, pulls := New(Options{NMax: 150}, rng.New(13)).Run(newRosen())
+	_, pulls := New(Options{NMax: 150}, rng.New(13)).Run(context.Background(), newRosen())
 	// No arm should monopolize everything, and no arm should starve
 	// completely (UCB explores).
 	for name, n := range pulls {
@@ -111,7 +113,7 @@ func TestBanditShiftsBudgetTowardProductiveArms(t *testing.T) {
 func TestTunerOnHPL(t *testing.T) {
 	// The paper's actual use: tune HPL through the ensemble.
 	p := miniapps.NewProblem(miniapps.HPL(), machine.Sandybridge)
-	res, _ := New(Options{NMax: 60}, rng.New(17)).Run(p)
+	res, _ := New(Options{NMax: 60}, rng.New(17)).Run(context.Background(), p)
 	if len(res.Records) != 60 {
 		t.Fatalf("evaluated %d", len(res.Records))
 	}
@@ -123,7 +125,7 @@ func TestTunerOnHPL(t *testing.T) {
 }
 
 func TestElapsedMonotone(t *testing.T) {
-	res, _ := New(Options{NMax: 50}, rng.New(19)).Run(newRosen())
+	res, _ := New(Options{NMax: 50}, rng.New(19)).Run(context.Background(), newRosen())
 	prev := 0.0
 	for _, rec := range res.Records {
 		if rec.Elapsed <= prev {
@@ -135,7 +137,7 @@ func TestElapsedMonotone(t *testing.T) {
 
 func TestStringSummary(t *testing.T) {
 	tun := New(Options{NMax: 30}, rng.New(23))
-	tun.Run(newRosen())
+	tun.Run(context.Background(), newRosen())
 	s := tun.String()
 	for _, want := range []string{"SA", "GA", "PS", "RAND", "pulls"} {
 		if !strings.Contains(s, want) {
@@ -148,7 +150,7 @@ func TestCustomEnsemble(t *testing.T) {
 	p := newRosen()
 	tun := New(Options{NMax: 40}, rng.New(29),
 		search.NewRandomTechnique(p.Space(), rng.New(30)))
-	res, pulls := tun.Run(p)
+	res, pulls := tun.Run(context.Background(), p)
 	if len(pulls) != 1 || len(res.Records) != 40 {
 		t.Fatalf("custom single-technique ensemble wrong: %v, %d records", pulls, len(res.Records))
 	}

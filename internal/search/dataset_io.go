@@ -77,19 +77,21 @@ func LoadCSV(r io.Reader, spc *space.Space) (Dataset, error) {
 	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
 	want := append(append([]string{}, spc.Names()...), "run_time")
 	withStatus := len(header) == len(want)+1
+	// Diagnostics cite 1-based file lines and columns (the header is
+	// line 1), matching what editors and csv tooling display.
 	if withStatus {
 		if header[len(header)-1] != "status" {
-			return nil, fmt.Errorf("search: header trailing column is %q, want %q",
+			return nil, fmt.Errorf("search: line 1: header trailing column is %q, want %q",
 				header[len(header)-1], "status")
 		}
 		header = header[:len(header)-1]
 	}
 	if len(header) != len(want) {
-		return nil, fmt.Errorf("search: header has %d columns, space needs %d", len(header), len(want))
+		return nil, fmt.Errorf("search: line 1: header has %d columns, space needs %d", len(header), len(want))
 	}
 	for i := range want {
 		if header[i] != want[i] {
-			return nil, fmt.Errorf("search: header column %d is %q, want %q", i, header[i], want[i])
+			return nil, fmt.Errorf("search: line 1: header column %d is %q, want %q", i+1, header[i], want[i])
 		}
 	}
 	wantCols := len(want)
@@ -113,7 +115,7 @@ func LoadCSV(r io.Reader, spc *space.Space) (Dataset, error) {
 		for i := 0; i < spc.NumParams(); i++ {
 			lv, err := strconv.Atoi(parts[i])
 			if err != nil {
-				return nil, fmt.Errorf("search: line %d column %d: %v", lineNo, i, err)
+				return nil, fmt.Errorf("search: line %d column %d: %v", lineNo, i+1, err)
 			}
 			c[i] = lv
 		}

@@ -76,6 +76,32 @@ func TestLoadCSVValidation(t *testing.T) {
 	}
 }
 
+// LoadCSV diagnostics cite 1-based file lines (header = line 1) and
+// 1-based columns, matching what editors display.
+func TestLoadCSVErrorsAreOneBased(t *testing.T) {
+	spc := ioSpace()
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"header name", "a,t,scr,run_time\n0,0,0,1\n", "line 1: header column 1"},
+		{"header width", "u,t,run_time\n0,0,1\n", "line 1: header has 3 columns"},
+		{"header trailing", "u,t,scr,run_time,notes\n0,0,0,1,hi\n", "line 1: header trailing column"},
+		{"first data row", "u,t,scr,run_time\n0,0,0,abc\n", "line 2:"},
+		{"later data row", "u,t,scr,run_time\n0,0,0,1\n0,0,0,abc\n", "line 3:"},
+		{"level column", "u,t,scr,run_time\n0,x,0,1\n", "line 2 column 2"},
+	}
+	for _, tc := range cases {
+		_, err := LoadCSV(strings.NewReader(tc.doc), spc)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not cite %q", tc.name, err, tc.want)
+		}
+	}
+}
+
 func TestDatasetCSVCensoredRoundtrip(t *testing.T) {
 	spc := ioSpace()
 	r := rng.New(3)

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/rng"
@@ -26,11 +27,11 @@ type Technique interface {
 // evaluations consume budget and are recorded, but are not reported to
 // the technique (it saw no measurement), so heuristics continue past
 // failures without poisoning their internal state.
-func Drive(p Problem, t Technique, nmax int) *Result {
+func Drive(ctx context.Context, p Problem, t Technique, nmax int) *Result {
 	run := newRunner(p, t.Name())
 	seen := map[string]float64{}
 	misses := 0
-	for len(run.res.Records) < nmax && misses < 50*nmax {
+	for len(run.res.Records) < nmax && misses < 50*nmax && ctx.Err() == nil {
 		c, ok := t.Propose()
 		if !ok {
 			break
@@ -45,7 +46,10 @@ func Drive(p Problem, t Technique, nmax int) *Result {
 			}
 			continue
 		}
-		rec := run.evaluate(c)
+		rec, ok := run.evaluate(ctx, c)
+		if !ok {
+			break
+		}
 		seen[c.Key()] = rec.RunTime
 		if rec.Status != StatusFailed {
 			t.Report(c, rec.RunTime)

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/rng"
@@ -57,7 +58,7 @@ func (o RSpOptions) withDefaults() RSpOptions {
 // plain RS run makes RSp consider the same configurations in the same
 // order and merely skip some — the paper's common-random-numbers setup.
 // The pool is drawn from poolR.
-func RSp(p Problem, m Model, opt RSpOptions, r, poolR *rng.RNG) *Result {
+func RSp(ctx context.Context, p Problem, m Model, opt RSpOptions, r, poolR *rng.RNG) *Result {
 	opt = opt.withDefaults()
 	spc := p.Space()
 	run := newRunner(p, "RSp")
@@ -71,14 +72,16 @@ func RSp(p Problem, m Model, opt RSpOptions, r, poolR *rng.RNG) *Result {
 
 	sampler := space.NewSampler(spc, r)
 	considered := 0
-	for len(run.res.Records) < opt.NMax && considered < opt.MaxConsidered {
+	for len(run.res.Records) < opt.NMax && considered < opt.MaxConsidered && ctx.Err() == nil {
 		c, ok := sampler.Next()
 		if !ok {
 			break
 		}
 		considered++
 		if m.Predict(spc.Encode(c)) < cutoff {
-			run.evaluate(c)
+			if _, ok := run.evaluate(ctx, c); !ok {
+				break
+			}
 		} else {
 			run.res.Skipped++
 		}
@@ -109,7 +112,7 @@ func (o RSbOptions) withDefaults() RSbOptions {
 // pool of PoolSize random configurations, then repeatedly evaluate the
 // pool configuration with the smallest predicted run time, removing it
 // from the pool.
-func RSb(p Problem, m Model, opt RSbOptions, poolR *rng.RNG) *Result {
+func RSb(ctx context.Context, p Problem, m Model, opt RSbOptions, poolR *rng.RNG) *Result {
 	opt = opt.withDefaults()
 	spc := p.Space()
 	run := newRunner(p, "RSb")
@@ -128,8 +131,10 @@ func RSb(p Problem, m Model, opt RSbOptions, poolR *rng.RNG) *Result {
 	sort.SliceStable(scoredPool, func(a, b int) bool {
 		return scoredPool[a].pred < scoredPool[b].pred
 	})
-	for i := 0; i < len(scoredPool) && len(run.res.Records) < opt.NMax; i++ {
-		run.evaluate(scoredPool[i].c)
+	for i := 0; i < len(scoredPool) && len(run.res.Records) < opt.NMax && ctx.Err() == nil; i++ {
+		if _, ok := run.evaluate(ctx, scoredPool[i].c); !ok {
+			break
+		}
 	}
 	return run.res
 }
@@ -139,7 +144,7 @@ func RSb(p Problem, m Model, opt RSbOptions, poolR *rng.RNG) *Result {
 // configurations in their original order, skipping those whose *source*
 // run time missed the cutoff. The search is therefore restricted to the
 // configurations of Ta.
-func RSpf(p Problem, ta Dataset, deltaPct float64) *Result {
+func RSpf(ctx context.Context, p Problem, ta Dataset, deltaPct float64) *Result {
 	if deltaPct <= 0 || deltaPct >= 100 {
 		deltaPct = 20
 	}
@@ -154,8 +159,13 @@ func RSpf(p Problem, ta Dataset, deltaPct float64) *Result {
 	}
 	cutoff := stats.Quantile(ys, deltaPct/100)
 	for _, s := range ta {
+		if ctx.Err() != nil {
+			break
+		}
 		if s.RunTime < cutoff {
-			run.evaluate(s.Config)
+			if _, ok := run.evaluate(ctx, s.Config); !ok {
+				break
+			}
 		} else {
 			run.res.Skipped++
 		}
@@ -167,7 +177,7 @@ func RSpf(p Problem, ta Dataset, deltaPct float64) *Result {
 // source run times and evaluates the configurations in that order.
 // Censored source rows sort by their caps, which places them with the
 // slow configurations they almost certainly are.
-func RSbf(p Problem, ta Dataset) *Result {
+func RSbf(ctx context.Context, p Problem, ta Dataset) *Result {
 	run := newRunner(p, "RSbf")
 	ta = ta.Valid()
 	order := make([]int, len(ta))
@@ -178,7 +188,12 @@ func RSbf(p Problem, ta Dataset) *Result {
 		return ta[order[a]].RunTime < ta[order[b]].RunTime
 	})
 	for _, i := range order {
-		run.evaluate(ta[i].Config)
+		if ctx.Err() != nil {
+			break
+		}
+		if _, ok := run.evaluate(ctx, ta[i].Config); !ok {
+			break
+		}
 	}
 	return run.res
 }
@@ -193,7 +208,7 @@ func RSbf(p Problem, ta Dataset) *Result {
 // refit is called with the combined dataset and must return the new
 // model; refitEvery controls the cadence (default: every 10
 // evaluations).
-func RSbA(p Problem, initial Model, ta Dataset, opt RSbOptions, refitEvery int,
+func RSbA(ctx context.Context, p Problem, initial Model, ta Dataset, opt RSbOptions, refitEvery int,
 	refit func(Dataset) (Model, error), poolR *rng.RNG) (*Result, error) {
 
 	opt = opt.withDefaults()
@@ -210,7 +225,7 @@ func RSbA(p Problem, initial Model, ta Dataset, opt RSbOptions, refitEvery int,
 	model := initial
 	observed := append(Dataset{}, ta...)
 
-	for len(run.res.Records) < opt.NMax && len(remaining) > 0 {
+	for len(run.res.Records) < opt.NMax && len(remaining) > 0 && ctx.Err() == nil {
 		// Pick the argmin-predicted configuration from the remaining pool.
 		best := 0
 		bestPred := model.Predict(spc.Encode(remaining[0]))
@@ -223,7 +238,10 @@ func RSbA(p Problem, initial Model, ta Dataset, opt RSbOptions, refitEvery int,
 		remaining[best] = remaining[len(remaining)-1]
 		remaining = remaining[:len(remaining)-1]
 
-		rec := run.evaluate(c)
+		rec, ok := run.evaluate(ctx, c)
+		if !ok {
+			break
+		}
 		// Failed evaluations contribute no training signal; censored ones
 		// enter at the cap, a usable lower bound for ranking.
 		if rec.Status != StatusFailed {

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -82,19 +83,47 @@ type Outcome struct {
 	Err error
 }
 
+// ErrAborted marks an evaluator-initiated abort: the evaluation layer
+// (e.g. a journal whose disk write failed, or a replay that detected a
+// divergence) wants the search to stop immediately without recording
+// anything. Wrap it with %w; Outcome.Interrupted treats it like a
+// context cancellation.
+var ErrAborted = errors.New("search: evaluation aborted")
+
+// Interrupted reports that the evaluation was cut short — by context
+// cancellation or an evaluator abort — rather than completed.
+// Interrupted outcomes carry no usable measurement and must not be
+// recorded: a record produced by a truncated attempt sequence would
+// differ from the one an uninterrupted run produces, breaking bit-exact
+// resumption.
+func (o Outcome) Interrupted() bool {
+	return errors.Is(o.Err, context.Canceled) ||
+		errors.Is(o.Err, context.DeadlineExceeded) ||
+		errors.Is(o.Err, ErrAborted)
+}
+
+// interrupted builds the sentinel outcome for a cancelled evaluation.
+func interrupted(err error, cost float64) Outcome {
+	return Outcome{RunTime: math.Inf(1), Cost: cost, Status: StatusFailed, Err: err}
+}
+
 // FullEvaluator exposes complete evaluation outcomes including failure
 // status. The search runner uses it when a Problem implements it;
 // Resilient is the canonical implementation.
 type FullEvaluator interface {
-	EvaluateFull(c space.Config) Outcome
+	EvaluateFull(ctx context.Context, c space.Config) Outcome
 }
 
 // EvaluateFull evaluates c with full failure semantics when p supports
 // them, and adapts a plain Evaluate otherwise (flagging a non-finite run
-// time as failed rather than letting it poison downstream minima).
-func EvaluateFull(p Problem, c space.Config) Outcome {
+// time as failed rather than letting it poison downstream minima). A
+// cancelled ctx yields an Interrupted outcome without evaluating.
+func EvaluateFull(ctx context.Context, p Problem, c space.Config) Outcome {
+	if err := ctx.Err(); err != nil {
+		return interrupted(err, 0)
+	}
 	if fe, ok := p.(FullEvaluator); ok {
-		return fe.EvaluateFull(c)
+		return fe.EvaluateFull(ctx, c)
 	}
 	run, cost := p.Evaluate(c)
 	if math.IsNaN(run) || math.IsInf(run, 0) {
@@ -156,17 +185,23 @@ func (r *Resilient) Space() *space.Space { return r.P.Space() }
 // Evaluate implements Problem for consumers that predate the failure
 // path: failed evaluations surface as a +Inf run time.
 func (r *Resilient) Evaluate(c space.Config) (runTime, cost float64) {
-	out := r.EvaluateFull(c)
+	out := r.EvaluateFull(context.Background(), c)
 	return out.RunTime, out.Cost
 }
 
 // EvaluateFull implements FullEvaluator: attempt the evaluation, retry
 // transient failures within the budget (backoff charged to the clock),
-// and censor run times at the timeout cap.
-func (r *Resilient) EvaluateFull(c space.Config) Outcome {
+// and censor run times at the timeout cap. Cancelling ctx stops the
+// attempt sequence at the next attempt boundary with an Interrupted
+// outcome (never a recorded failure), so a drained search stays a
+// bit-exact prefix of the uninterrupted one.
+func (r *Resilient) EvaluateFull(ctx context.Context, c space.Config) Outcome {
 	opt := r.Opt.withDefaults()
 	total := 0.0
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return interrupted(err, total)
+		}
 		run, cost, err := r.P.TryEvaluate(c)
 		if err == nil {
 			if opt.Timeout > 0 && run > opt.Timeout {

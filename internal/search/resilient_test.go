@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"math"
@@ -55,7 +57,7 @@ func TestResilientRetriesTransientAndChargesBackoff(t *testing.T) {
 	p := newScripted()
 	p.script[cfg(1).Key()] = []float64{-2, -2, 3}
 	r := NewResilient(p, ResilientOptions{Retries: 2, Backoff: 1})
-	out := r.EvaluateFull(cfg(1))
+	out := r.EvaluateFull(context.Background(), cfg(1))
 	if out.Status != StatusOK || out.RunTime != 3 || out.Retries != 2 {
 		t.Fatalf("outcome = %+v", out)
 	}
@@ -70,7 +72,7 @@ func TestResilientExhaustsRetryBudget(t *testing.T) {
 	p := newScripted()
 	p.script[cfg(2).Key()] = []float64{-2, -2, -2, -2}
 	r := NewResilient(p, ResilientOptions{Retries: 2, Backoff: 1})
-	out := r.EvaluateFull(cfg(2))
+	out := r.EvaluateFull(context.Background(), cfg(2))
 	if out.Status != StatusFailed || !math.IsInf(out.RunTime, 1) {
 		t.Fatalf("outcome = %+v", out)
 	}
@@ -90,7 +92,7 @@ func TestResilientPermanentFailureNotRetried(t *testing.T) {
 	p := newScripted()
 	p.script[cfg(3).Key()] = []float64{-1, 5}
 	r := NewResilient(p, ResilientOptions{Retries: 3})
-	out := r.EvaluateFull(cfg(3))
+	out := r.EvaluateFull(context.Background(), cfg(3))
 	if out.Status != StatusFailed || out.Retries != 0 {
 		t.Fatalf("outcome = %+v", out)
 	}
@@ -103,7 +105,7 @@ func TestResilientCensorsAtTimeout(t *testing.T) {
 	p := newScripted()
 	p.script[cfg(4).Key()] = []float64{100}
 	r := NewResilient(p, ResilientOptions{Timeout: 10})
-	out := r.EvaluateFull(cfg(4))
+	out := r.EvaluateFull(context.Background(), cfg(4))
 	if out.Status != StatusCensored || out.RunTime != 10 {
 		t.Fatalf("outcome = %+v", out)
 	}
@@ -168,7 +170,7 @@ func TestSearchesCompleteUnderFailures(t *testing.T) {
 	}}
 	p := NewResilient(fp, ResilientOptions{Retries: 1})
 
-	res := RS(p, 60, rng.New(3))
+	res := RS(context.Background(), p, 60, rng.New(3))
 	counts := res.Counts()
 	if counts.Failed == 0 || counts.OK == 0 {
 		t.Fatalf("counts = %+v", counts)
@@ -182,9 +184,9 @@ func TestSearchesCompleteUnderFailures(t *testing.T) {
 	}
 
 	for _, mk := range []func() *Result{
-		func() *Result { return Drive(p, NewAnneal(spc, rng.New(5), 0.9), 40) },
-		func() *Result { return Drive(p, NewGenetic(spc, rng.New(6), 8, 0.2), 40) },
-		func() *Result { return Drive(p, NewPattern(spc, rng.New(7), 4), 40) },
+		func() *Result { return Drive(context.Background(), p, NewAnneal(spc, rng.New(5), 0.9), 40) },
+		func() *Result { return Drive(context.Background(), p, NewGenetic(spc, rng.New(6), 8, 0.2), 40) },
+		func() *Result { return Drive(context.Background(), p, NewPattern(spc, rng.New(7), 4), 40) },
 	} {
 		res := mk()
 		if _, _, ok := res.Best(); !ok {
@@ -211,7 +213,7 @@ func (f *funcFallible) TryEvaluate(c space.Config) (float64, float64, error) {
 
 func TestEvaluateFullFlagsNonFinite(t *testing.T) {
 	p := nanProblem{}
-	out := EvaluateFull(p, cfg(1))
+	out := EvaluateFull(context.Background(), p, cfg(1))
 	if out.Status != StatusFailed || !math.IsInf(out.RunTime, 1) {
 		t.Fatalf("outcome = %+v", out)
 	}

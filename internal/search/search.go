@@ -13,6 +13,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -278,15 +279,32 @@ func newRunner(p Problem, algorithm string) *runner {
 	return &runner{p: p, res: &Result{Algorithm: algorithm, Problem: p.Name()}}
 }
 
-func (r *runner) evaluate(c space.Config) Record {
-	out := EvaluateFull(r.p, c)
+// newRunnerWith seeds a runner with already-completed records (a journal
+// prefix from a resumed run). The prior records' Elapsed values are
+// trusted as the search clock baseline.
+func newRunnerWith(p Problem, algorithm string, prior []Record) *runner {
+	run := newRunner(p, algorithm)
+	run.res.Records = append(run.res.Records, prior...)
+	return run
+}
+
+// evaluate runs one configuration and appends its record. ok is false
+// when the evaluation was interrupted by context cancellation: nothing
+// is recorded (a half-finished attempt sequence must not enter the
+// result, or a resumed run could never reproduce it) and the caller
+// must stop the search.
+func (r *runner) evaluate(ctx context.Context, c space.Config) (Record, bool) {
+	out := EvaluateFull(ctx, r.p, c)
+	if out.Interrupted() {
+		return Record{}, false
+	}
 	rec := Record{
 		Config: c.Clone(), RunTime: out.RunTime, Cost: out.Cost,
 		Elapsed: r.elapsed() + out.Cost,
 		Status:  out.Status, Retries: out.Retries,
 	}
 	r.res.Records = append(r.res.Records, rec)
-	return rec
+	return rec, true
 }
 
 func (r *runner) elapsed() float64 {
@@ -299,25 +317,51 @@ func (r *runner) elapsed() float64 {
 // RS runs random search without replacement for nmax evaluations (fewer
 // if the space is exhausted). At iteration k every unevaluated
 // configuration is equally likely to be drawn.
-func RS(p Problem, nmax int, r *rng.RNG) *Result {
-	run := newRunner(p, "RS")
-	sampler := space.NewSampler(p.Space(), r)
-	for len(run.res.Records) < nmax {
+//
+// Cancelling ctx drains the search gracefully: the in-flight evaluation
+// finishes (or is dropped if it had not started), the partial Result is
+// returned, and — because records are only ever appended between
+// evaluations — the partial result is a bit-exact prefix of the
+// uninterrupted run, which is what journal-based resumption depends on.
+func RS(ctx context.Context, p Problem, nmax int, r *rng.RNG) *Result {
+	return rsLoop(ctx, newRunner(p, "RS"), nmax, space.NewSampler(p.Space(), r))
+}
+
+// ResumeRS continues a partially-completed RS run from a checkpoint:
+// prior holds the records already evaluated (typically recovered from a
+// journal) and sampler must already exclude their configurations and
+// carry the RNG state captured when the last prior record was drawn.
+// The continuation draws exactly the configurations the uninterrupted
+// run would have drawn next.
+func ResumeRS(ctx context.Context, p Problem, nmax int, sampler *space.Sampler, prior []Record) *Result {
+	return rsLoop(ctx, newRunnerWith(p, "RS", prior), nmax, sampler)
+}
+
+func rsLoop(ctx context.Context, run *runner, nmax int, sampler *space.Sampler) *Result {
+	for len(run.res.Records) < nmax && ctx.Err() == nil {
 		c, ok := sampler.Next()
 		if !ok {
 			break
 		}
-		run.evaluate(c)
+		if _, ok := run.evaluate(ctx, c); !ok {
+			break
+		}
 	}
 	return run.res
 }
 
 // Replay evaluates exactly the given configurations in order — used for
-// common-random-numbers comparisons and the model-free variants.
-func Replay(p Problem, seq []space.Config, algorithm string) *Result {
+// common-random-numbers comparisons and the model-free variants. Like
+// RS, it stops cleanly between evaluations when ctx is cancelled.
+func Replay(ctx context.Context, p Problem, seq []space.Config, algorithm string) *Result {
 	run := newRunner(p, algorithm)
 	for _, c := range seq {
-		run.evaluate(c)
+		if ctx.Err() != nil {
+			break
+		}
+		if _, ok := run.evaluate(ctx, c); !ok {
+			break
+		}
 	}
 	return run.res
 }

@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+
 	"errors"
 	"math"
 	"testing"
@@ -49,7 +51,7 @@ func (b *bowl) optimum() space.Config {
 
 func TestRSNoRepeatsAndBudget(t *testing.T) {
 	p := newBowl()
-	res := RS(p, 50, rng.New(1))
+	res := RS(context.Background(), p, 50, rng.New(1))
 	if len(res.Records) != 50 {
 		t.Fatalf("RS evaluated %d configs, want 50", len(res.Records))
 	}
@@ -65,7 +67,7 @@ func TestRSNoRepeatsAndBudget(t *testing.T) {
 func TestRSExhaustsSmallSpace(t *testing.T) {
 	spc := space.New(space.NewIntRange("a", 0, 4))
 	p := &bowl{spc: spc, target: []int{2}}
-	res := RS(p, 100, rng.New(2))
+	res := RS(context.Background(), p, 100, rng.New(2))
 	if len(res.Records) != 5 {
 		t.Fatalf("RS on 5-config space evaluated %d", len(res.Records))
 	}
@@ -78,8 +80,8 @@ func TestRSExhaustsSmallSpace(t *testing.T) {
 func TestRSCommonRandomNumbers(t *testing.T) {
 	p1 := newBowl()
 	p2 := newBowl()
-	r1 := RS(p1, 30, rng.NewNamed(7, "crn"))
-	r2 := RS(p2, 30, rng.NewNamed(7, "crn"))
+	r1 := RS(context.Background(), p1, 30, rng.NewNamed(7, "crn"))
+	r2 := RS(context.Background(), p2, 30, rng.NewNamed(7, "crn"))
 	for i := range r1.Records {
 		if r1.Records[i].Config.Key() != r2.Records[i].Config.Key() {
 			t.Fatal("same-seeded RS runs diverged")
@@ -88,7 +90,7 @@ func TestRSCommonRandomNumbers(t *testing.T) {
 }
 
 func TestElapsedMonotone(t *testing.T) {
-	res := RS(newBowl(), 40, rng.New(3))
+	res := RS(context.Background(), newBowl(), 40, rng.New(3))
 	prev := 0.0
 	for _, rec := range res.Records {
 		if rec.Elapsed <= prev {
@@ -102,7 +104,7 @@ func TestElapsedMonotone(t *testing.T) {
 }
 
 func TestBestAndTimeToReach(t *testing.T) {
-	res := RS(newBowl(), 60, rng.New(4))
+	res := RS(context.Background(), newBowl(), 60, rng.New(4))
 	best, idx, ok := res.Best()
 	if !ok {
 		t.Fatal("no best")
@@ -120,7 +122,7 @@ func TestBestAndTimeToReach(t *testing.T) {
 }
 
 func TestBestSoFarNonIncreasing(t *testing.T) {
-	res := RS(newBowl(), 60, rng.New(5))
+	res := RS(context.Background(), newBowl(), 60, rng.New(5))
 	traj := res.BestSoFar()
 	for i := 1; i < len(traj); i++ {
 		if traj[i] > traj[i-1] {
@@ -133,7 +135,7 @@ func TestBestSoFarNonIncreasing(t *testing.T) {
 // standing in for the source machine's data T_a.
 func fitModel(t *testing.T, p Problem, n int, seed uint64) (Model, Dataset) {
 	t.Helper()
-	res := RS(p, n, rng.New(seed))
+	res := RS(context.Background(), p, n, rng.New(seed))
 	ds := DatasetFrom(res)
 	X, y := ds.Encode(p.Space())
 	f, err := forest.Fit(X, y, forest.Params{Trees: 40}, rng.New(seed+1))
@@ -147,7 +149,7 @@ func TestRSbFindsOptimumRegionFast(t *testing.T) {
 	src := newBowl()
 	model, _ := fitModel(t, src, 120, 11)
 	tgt := newBowl()
-	res := RSb(tgt, model, RSbOptions{NMax: 20, PoolSize: 2000}, rng.New(12))
+	res := RSb(context.Background(), tgt, model, RSbOptions{NMax: 20, PoolSize: 2000}, rng.New(12))
 	if len(res.Records) != 20 {
 		t.Fatalf("RSb evaluated %d", len(res.Records))
 	}
@@ -158,7 +160,7 @@ func TestRSbFindsOptimumRegionFast(t *testing.T) {
 		t.Fatalf("RSb best %.2f too far from optimum 1.0", best.RunTime)
 	}
 	// And it must find it much faster than plain RS does on average.
-	rs := RS(newBowl(), 20, rng.New(13))
+	rs := RS(context.Background(), newBowl(), 20, rng.New(13))
 	rsBest, _, _ := rs.Best()
 	if best.RunTime >= rsBest.RunTime {
 		t.Fatalf("RSb (%.2f) not better than RS (%.2f) with a perfect-source model",
@@ -170,7 +172,7 @@ func TestRSbEvaluatesInPredictedOrder(t *testing.T) {
 	src := newBowl()
 	model, _ := fitModel(t, src, 100, 21)
 	tgt := newBowl()
-	res := RSb(tgt, model, RSbOptions{NMax: 15, PoolSize: 500}, rng.New(22))
+	res := RSb(context.Background(), tgt, model, RSbOptions{NMax: 15, PoolSize: 500}, rng.New(22))
 	spc := tgt.Space()
 	prev := math.Inf(-1)
 	for _, rec := range res.Records {
@@ -186,7 +188,7 @@ func TestRSpSkipsPredictedPoor(t *testing.T) {
 	src := newBowl()
 	model, _ := fitModel(t, src, 120, 31)
 	tgt := newBowl()
-	res := RSp(tgt, model, RSpOptions{NMax: 30, PoolSize: 2000, DeltaPct: 20}, rng.New(32), rng.New(33))
+	res := RSp(context.Background(), tgt, model, RSpOptions{NMax: 30, PoolSize: 2000, DeltaPct: 20}, rng.New(32), rng.New(33))
 	if len(res.Records) == 0 {
 		t.Fatal("RSp evaluated nothing")
 	}
@@ -210,7 +212,7 @@ func TestRSpSharesCandidateStreamWithRS(t *testing.T) {
 	src := newBowl()
 	model, _ := fitModel(t, src, 120, 41)
 	seq := Sequence(newBowl().Space(), 3000, rng.NewNamed(5, "stream"))
-	res := RSp(newBowl(), model, RSpOptions{NMax: 25, PoolSize: 1000}, rng.NewNamed(5, "stream"), rng.New(42))
+	res := RSp(context.Background(), newBowl(), model, RSpOptions{NMax: 25, PoolSize: 1000}, rng.NewNamed(5, "stream"), rng.New(42))
 	pos := 0
 	for _, rec := range res.Records {
 		found := false
@@ -230,9 +232,9 @@ func TestRSpSharesCandidateStreamWithRS(t *testing.T) {
 
 func TestRSpfRestrictedToTa(t *testing.T) {
 	src := newBowl()
-	srcRes := RS(src, 50, rng.New(51))
+	srcRes := RS(context.Background(), src, 50, rng.New(51))
 	ta := DatasetFrom(srcRes)
-	res := RSpf(newBowl(), ta, 20)
+	res := RSpf(context.Background(), newBowl(), ta, 20)
 	// ~20% of 50 = ~10 evaluations.
 	if len(res.Records) == 0 || len(res.Records) > 15 {
 		t.Fatalf("RSpf evaluated %d configs, expected about 10", len(res.Records))
@@ -253,9 +255,9 @@ func TestRSpfRestrictedToTa(t *testing.T) {
 
 func TestRSbfSortedBySourceTimes(t *testing.T) {
 	src := newBowl()
-	srcRes := RS(src, 40, rng.New(61))
+	srcRes := RS(context.Background(), src, 40, rng.New(61))
 	ta := DatasetFrom(srcRes)
-	res := RSbf(newBowl(), ta)
+	res := RSbf(context.Background(), newBowl(), ta)
 	if len(res.Records) != len(ta) {
 		t.Fatalf("RSbf evaluated %d of %d", len(res.Records), len(ta))
 	}
@@ -270,7 +272,7 @@ func TestRSbfSortedBySourceTimes(t *testing.T) {
 
 func TestReplayExactOrder(t *testing.T) {
 	seq := Sequence(newBowl().Space(), 20, rng.New(71))
-	res := Replay(newBowl(), seq, "replay")
+	res := Replay(context.Background(), newBowl(), seq, "replay")
 	if len(res.Records) != 20 {
 		t.Fatal("replay wrong length")
 	}
@@ -283,7 +285,7 @@ func TestReplayExactOrder(t *testing.T) {
 
 func TestDatasetEncode(t *testing.T) {
 	p := newBowl()
-	res := RS(p, 10, rng.New(81))
+	res := RS(context.Background(), p, 10, rng.New(81))
 	ds := DatasetFrom(res)
 	X, y := ds.Encode(p.Space())
 	if len(X) != 10 || len(y) != 10 {
@@ -298,7 +300,7 @@ func TestDatasetEncode(t *testing.T) {
 
 func TestAnnealImproves(t *testing.T) {
 	p := newBowl()
-	res := Drive(p, NewAnneal(p.Space(), rng.New(91), 0.95), 150)
+	res := Drive(context.Background(), p, NewAnneal(p.Space(), rng.New(91), 0.95), 150)
 	best, _, _ := res.Best()
 	if best.RunTime > 3 {
 		t.Fatalf("SA best %.2f after 150 evals on a smooth bowl", best.RunTime)
@@ -307,7 +309,7 @@ func TestAnnealImproves(t *testing.T) {
 
 func TestGeneticImproves(t *testing.T) {
 	p := newBowl()
-	res := Drive(p, NewGenetic(p.Space(), rng.New(92), 16, 0.15), 200)
+	res := Drive(context.Background(), p, NewGenetic(p.Space(), rng.New(92), 16, 0.15), 200)
 	best, _, _ := res.Best()
 	if best.RunTime > 3 {
 		t.Fatalf("GA best %.2f after 200 evals on a smooth bowl", best.RunTime)
@@ -316,7 +318,7 @@ func TestGeneticImproves(t *testing.T) {
 
 func TestPatternSearchConvergesOnConvex(t *testing.T) {
 	p := newBowl()
-	res := Drive(p, NewPattern(p.Space(), rng.New(93), 4), 150)
+	res := Drive(context.Background(), p, NewPattern(p.Space(), rng.New(93), 4), 150)
 	best, _, _ := res.Best()
 	if best.RunTime > 2 {
 		t.Fatalf("pattern search best %.2f on convex bowl", best.RunTime)
@@ -325,7 +327,7 @@ func TestPatternSearchConvergesOnConvex(t *testing.T) {
 
 func TestDriveNoDuplicateEvaluations(t *testing.T) {
 	p := newBowl()
-	res := Drive(p, NewAnneal(p.Space(), rng.New(94), 0.9), 100)
+	res := Drive(context.Background(), p, NewAnneal(p.Space(), rng.New(94), 0.9), 100)
 	seen := map[string]bool{}
 	for _, rec := range res.Records {
 		if seen[rec.Config.Key()] {
@@ -337,7 +339,7 @@ func TestDriveNoDuplicateEvaluations(t *testing.T) {
 
 func TestRandomTechnique(t *testing.T) {
 	p := newBowl()
-	res := Drive(p, NewRandomTechnique(p.Space(), rng.New(95)), 50)
+	res := Drive(context.Background(), p, NewRandomTechnique(p.Space(), rng.New(95)), 50)
 	if len(res.Records) != 50 {
 		t.Fatalf("random technique evaluated %d", len(res.Records))
 	}
@@ -358,7 +360,7 @@ func TestAnnealWarmStart(t *testing.T) {
 	p := newBowl()
 	a := NewAnneal(p.Space(), rng.New(101), 0.95)
 	a.SetStart(p.optimum())
-	res := Drive(p, a, 30)
+	res := Drive(context.Background(), p, a, 30)
 	if res.Records[0].RunTime != 1 {
 		t.Fatalf("warm start ignored: first evaluation %v", res.Records[0].RunTime)
 	}
@@ -369,7 +371,7 @@ func TestRSbAActiveRefit(t *testing.T) {
 	model, ta := fitModel(t, src, 60, 201)
 	tgt := newBowl()
 	refits := 0
-	res, err := RSbA(tgt, model, ta, RSbOptions{NMax: 30, PoolSize: 1000}, 10,
+	res, err := RSbA(context.Background(), tgt, model, ta, RSbOptions{NMax: 30, PoolSize: 1000}, 10,
 		func(d Dataset) (Model, error) {
 			refits++
 			X, y := d.Encode(tgt.Space())
@@ -402,7 +404,7 @@ func TestRSbARefitErrorPropagates(t *testing.T) {
 	src := newBowl()
 	model, ta := fitModel(t, src, 40, 211)
 	tgt := newBowl()
-	_, err := RSbA(tgt, model, ta, RSbOptions{NMax: 20, PoolSize: 200}, 5,
+	_, err := RSbA(context.Background(), tgt, model, ta, RSbOptions{NMax: 20, PoolSize: 200}, 5,
 		func(Dataset) (Model, error) { return nil, errTest }, rng.New(212))
 	if err == nil {
 		t.Fatal("refit error swallowed")
