@@ -1,0 +1,92 @@
+package jrepro
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/journal/crashtest"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/space"
+)
+
+type prob struct{ spc *space.Space }
+
+func newProb() *prob {
+	s := space.New(
+		space.Param{Name: "a", Values: []string{"0", "1", "2", "3", "4", "5", "6", "7"}},
+		space.Param{Name: "b", Values: []string{"0", "1", "2", "3", "4", "5", "6", "7"}},
+		space.Param{Name: "c", Values: []string{"0", "1", "2", "3", "4", "5", "6", "7"}},
+	)
+	return &prob{spc: s}
+}
+func (p *prob) Name() string        { return "toy" }
+func (p *prob) Space() *space.Space { return p.spc }
+func (p *prob) Evaluate(c space.Config) (float64, float64) {
+	v := float64(c[0]*13+c[1]*7+c[2]) + 1
+	return v, v
+}
+
+type canceller struct {
+	p      search.Problem
+	n      int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (c *canceller) Name() string        { return c.p.Name() }
+func (c *canceller) Space() *space.Space { return c.p.Space() }
+func (c *canceller) Evaluate(cfg space.Config) (float64, float64) {
+	out := c.EvaluateFull(context.Background(), cfg)
+	return out.RunTime, out.Cost
+}
+func (c *canceller) EvaluateFull(ctx context.Context, cfg space.Config) search.Outcome {
+	if c.seen >= c.n {
+		c.cancel()
+	}
+	c.seen++
+	return search.EvaluateFull(ctx, c.p, cfg)
+}
+
+func TestPoisonedCheckpoint(t *testing.T) {
+	const nmax, seed = 30, 7
+	dir := t.TempDir()
+
+	ref := search.RS(context.Background(), newProb(), nmax, rng.New(seed))
+
+	// Run 1: graceful interrupt after 10 evals (fast-path checkpoint written).
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	_, _, err := journal.RunRS(ctx1, dir, &canceller{p: newProb(), n: 10, cancel: cancel1}, nmax, seed, nil, journal.WrapOptions{})
+	cancel1()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a stale/lost checkpoint (e.g. crash before checkpoint write):
+	// forces the replay path on the next resume.
+	os.Remove(filepath.Join(dir, journal.CheckpointFileName))
+
+	// Run 2: replay-path resume, interrupted during its FIRST new evaluation
+	// (before anything new is journaled).
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	_, info2, err := journal.RunRS(ctx2, dir, &canceller{p: newProb(), n: 0, cancel: cancel2}, nmax, seed, nil, journal.WrapOptions{})
+	cancel2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("run2: resumed=%v fastpath=%v prior=%d done=%v", info2.Resumed, info2.FastPath, info2.Prior, info2.Done)
+
+	// Run 3: resume to completion.
+	res, info3, err := journal.RunRS(context.Background(), dir, newProb(), nmax, seed, nil, journal.WrapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("run3: fastpath=%v prior=%d done=%v records=%d", info3.FastPath, info3.Prior, info3.Done, len(res.Records))
+
+	if err := crashtest.Compare(ref, res); err != nil {
+		t.Fatalf("resumed result diverges from uninterrupted run: %v", err)
+	}
+}
