@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race crashtest
+.PHONY: check build vet test race crashtest trace-smoke
 
 # check is the full local CI gate: build everything, vet, and run the
 # test suite under the race detector.
@@ -23,3 +23,12 @@ race:
 # child, and the SIGINT end-to-end trial of cmd/autotune.
 crashtest:
 	$(GO) test -v -count=1 ./internal/journal/... ./cmd/autotune/ -run 'Trunc|Cancel|SIGKILL|SIGINT|Resume'
+
+# trace-smoke runs a small traced, faulted, journaled search and checks
+# that tracestat can parse and summarize the trace. The trace lands in
+# trace-smoke/ (CI uploads it as an artifact).
+trace-smoke:
+	rm -rf trace-smoke && mkdir -p trace-smoke
+	$(GO) run ./cmd/autotune -problem ATAX -nmax 60 -seed 7 -faults 0.2 -timeout 50 \
+		-journal trace-smoke/journal -trace trace-smoke/trace.jsonl -metrics
+	$(GO) run ./cmd/tracestat trace-smoke/trace.jsonl

@@ -21,6 +21,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/kernels"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/search"
 	"repro/internal/sim"
@@ -277,4 +278,65 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry overhead benchmarks. obs.New collapses the no-op sink to the
+// nil (disabled) tracer, so running under a no-op sink must cost the
+// same as running with no tracer at all — these pairs make that claim
+// measurable on the two instrumented hot paths: the evaluation loop and
+// the model-guided scoring loop. A live sink pair is included for scale.
+
+// telemetryCases are the contexts the overhead benchmarks compare.
+func telemetryCases() []struct {
+	name string
+	ctx  context.Context
+} {
+	return []struct {
+		name string
+		ctx  context.Context
+	}{
+		{"no-tracer", context.Background()},
+		{"nop-sink", obs.WithTracer(context.Background(), obs.New(obs.NopSink{}))},
+		{"memory-sink", obs.WithTracer(context.Background(), obs.New(&obs.MemorySink{}))},
+	}
+}
+
+// BenchmarkTelemetryEvalLoop times the plain RS evaluation loop under
+// each tracing configuration.
+func BenchmarkTelemetryEvalLoop(b *testing.B) {
+	lu, err := kernels.ByName("LU")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
+	for _, c := range telemetryCases() {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				search.RS(c.ctx, p, 50, rng.New(1))
+			}
+		})
+	}
+}
+
+// BenchmarkTelemetryRSpScoring times RSp's model scoring loop (the
+// Model.Predict hot path, instrumented through the timed wrapper only
+// when tracing is enabled) under each tracing configuration.
+func BenchmarkTelemetryRSpScoring(b *testing.B) {
+	src, tgt := transferPieces(b)
+	res := search.RS(context.Background(), src, 60, rng.New(7))
+	sur, err := core.FitSurrogate(search.DatasetFrom(res), src.Space(), src.Name(),
+		forest.Params{Trees: 30}, rng.New(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range telemetryCases() {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				search.RSp(c.ctx, tgt, sur,
+					search.RSpOptions{NMax: 20, PoolSize: 2000},
+					rng.New(3), rng.New(4))
+			}
+		})
+	}
 }

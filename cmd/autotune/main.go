@@ -7,6 +7,8 @@
 //	         [-threads 1] [-algo rs|sa|ga|ps|ensemble] [-nmax 100] [-seed 42]
 //	         [-faults 0.3] [-retries 2] [-timeout 30]
 //	         [-journal DIR] [-resume DIR] [-throttle 50ms]
+//	         [-trace FILE] [-progress] [-metrics]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Problems: MM, ATAX, COR, LU (SPAPT kernels), HPL, RT (mini-apps), or
 // -annotation FILE for a kernel in the annotation language.
@@ -14,6 +16,15 @@
 // -faults F injects evaluation failures at total rate F (the machine's
 // failure profile scaled so compile failures + crashes + hangs = F);
 // -retries and -timeout set the resilient evaluator's budgets.
+//
+// Observability: -trace FILE streams every search event (evaluations,
+// prune skips, retries, checkpoint writes, ...) as one JSON object per
+// line; cmd/tracestat turns such a file into a per-phase time breakdown
+// and convergence table. -progress draws a live best-so-far/evals-per-
+// second line on stderr. -metrics prints an aggregated counter/histogram
+// snapshot after the run. -cpuprofile/-memprofile write standard pprof
+// profiles. Telemetry is observational only: it draws no randomness, so
+// a traced run returns bit-identical results to an untraced one.
 //
 // -journal DIR records every evaluation in a crash-safe append-only log
 // under DIR: each record is checksummed and fsync'd before the search
@@ -39,6 +50,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -51,6 +64,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/miniapps"
+	"repro/internal/obs"
 	"repro/internal/opentuner"
 	"repro/internal/rng"
 	"repro/internal/search"
@@ -65,6 +79,12 @@ const (
 	exitUsage       = 2
 	exitInterrupted = 3
 )
+
+// warnf is the single diagnostic channel: every stderr message goes
+// through it, prefixed with the program name.
+func warnf(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "autotune: "+format+"\n", a...)
+}
 
 func main() { os.Exit(run()) }
 
@@ -86,6 +106,11 @@ func run() int {
 		throttle   = flag.Duration("throttle", 0, "wall-clock pause per evaluation (makes simulated runs interruptible)")
 		verbose    = flag.Bool("v", false, "print every evaluation")
 		emit       = flag.Bool("emit", false, "print the best variant as C code (kernel problems)")
+		traceFile  = flag.String("trace", "", "write a JSONL event trace to FILE (read with cmd/tracestat)")
+		progress   = flag.Bool("progress", false, "draw a live best-so-far/evals-per-sec line on stderr")
+		metrics    = flag.Bool("metrics", false, "print an aggregated metrics snapshot after the run")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to FILE")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to FILE")
 	)
 	flag.Parse()
 
@@ -94,17 +119,17 @@ func run() int {
 
 	if *resumeDir != "" {
 		if *journalDir != "" && *journalDir != *resumeDir {
-			fmt.Fprintln(os.Stderr, "autotune: -journal and -resume name different directories")
+			warnf("-journal and -resume name different directories")
 			return exitUsage
 		}
 		*journalDir = *resumeDir
 		if !journal.Exists(*resumeDir) {
-			fmt.Fprintf(os.Stderr, "autotune: %s holds no journal to resume\n", *resumeDir)
+			warnf("%s holds no journal to resume", *resumeDir)
 			return exitUsage
 		}
 		m, err := journal.ReadMeta(*resumeDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "autotune:", err)
+			warnf("%v", err)
 			return exitUsage
 		}
 		// Adopt the journaled run's settings for every flag the user did
@@ -116,19 +141,19 @@ func run() int {
 			"threads": threads, "algo": algo,
 			"faults": faultRate, "retries": retries, "timeout": timeout,
 		}, nmax, seed); err != nil {
-			fmt.Fprintln(os.Stderr, "autotune:", err)
+			warnf("%v", err)
 			return exitUsage
 		}
 	}
 
 	if *faultRate < 0 || *faultRate >= 1 {
-		fmt.Fprintf(os.Stderr, "autotune: -faults must be in [0,1), got %v\n", *faultRate)
+		warnf("-faults must be in [0,1), got %v", *faultRate)
 		return exitUsage
 	}
 
 	p, err := buildProblem(*problem, *annotation, *machineN, *compilerN, *threads)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "autotune:", err)
+		warnf("%v", err)
 		return exitUsage
 	}
 
@@ -150,11 +175,65 @@ func run() int {
 		p = throttled{Problem: p, d: *throttle}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			warnf("%v", err)
+			return exitError
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			warnf("cpuprofile: %v", err)
+			return exitError
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				warnf("%v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				warnf("memprofile: %v", err)
+			}
+		}()
+	}
+
 	// SIGINT/SIGTERM cancel the context; searches drain the evaluation in
 	// flight and stop at the next boundary, so a journaled run always
 	// exits through its final checkpoint.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
+	// Telemetry: compose the requested sinks and put the tracer on the
+	// context every search layer reads it from. No sinks -> nil tracer ->
+	// zero overhead on the hot path.
+	var sinks []obs.Sink
+	var traceSink *obs.JSONLSink
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			warnf("%v", err)
+			return exitError
+		}
+		traceSink = obs.NewJSONLSink(f)
+		sinks = append(sinks, traceSink)
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		sinks = append(sinks, obs.NewMetricsSink(reg))
+	}
+	var prog *obs.ProgressSink
+	if *progress {
+		prog = obs.NewProgressSink(os.Stderr, 0)
+		sinks = append(sinks, prog)
+	}
+	ctx = obs.WithTracer(ctx, obs.New(obs.Multi(sinks...)))
 
 	var (
 		res   *search.Result
@@ -171,8 +250,16 @@ func run() int {
 	// cancels the context itself, which must not read as a signal.
 	interrupted := ctx.Err() != nil && (info == nil || !info.Done)
 	stopSignals()
+	if prog != nil {
+		prog.Finish()
+	}
+	if traceSink != nil {
+		if cerr := traceSink.Close(); cerr != nil {
+			warnf("trace: %v", cerr)
+		}
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "autotune:", err)
+		warnf("%v", err)
 		if errors.Is(err, journal.ErrMetaMismatch) {
 			return exitUsage
 		}
@@ -209,22 +296,26 @@ func run() int {
 			best.RunTime, idx+1, res.Records[idx].Elapsed)
 		fmt.Printf("search time: %.1f s total\n", res.Elapsed())
 	}
+	if reg != nil {
+		fmt.Println()
+		fmt.Print(reg.Snapshot())
+	}
 
 	if interrupted {
-		fmt.Fprintf(os.Stderr, "autotune: interrupted after %d evaluations\n", len(res.Records))
+		warnf("interrupted after %d evaluations", len(res.Records))
 		if *journalDir != "" {
-			fmt.Fprintf(os.Stderr, "autotune: journal saved; continue with: autotune -resume %s\n", *journalDir)
+			warnf("journal saved; continue with: autotune -resume %s", *journalDir)
 		}
 		return exitInterrupted
 	}
 	if !ok {
-		fmt.Fprintln(os.Stderr, "autotune: no successful evaluations (every configuration failed)")
+		warnf("no successful evaluations (every configuration failed)")
 		return exitError
 	}
 
 	if *emit {
 		if err := emitBest(p, best.Config); err != nil {
-			fmt.Fprintln(os.Stderr, "autotune: emit:", err)
+			warnf("emit: %v", err)
 			return exitError
 		}
 	}

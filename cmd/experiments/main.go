@@ -4,12 +4,15 @@
 //
 //	experiments [-exp all|fig1,fig3,table4] [-seed N] [-quick]
 //	            [-nmax N] [-pool N] [-trees N] [-outdir DIR] [-values]
-//	            [-resume DIR]
+//	            [-metrics] [-resume DIR]
 //
 // Each experiment prints its report to stdout. With -outdir, the tables
-// are additionally written as CSV and the named values as .txt files;
-// every file is written to a temporary name and atomically renamed, so
-// a crash never leaves a half-written report.
+// are additionally written as CSV, the named values as <id>-values.txt,
+// and each experiment's telemetry metrics snapshot (evaluation counts by
+// status, prune skips, model latency) as <id>-metrics.txt; every file is
+// written to a temporary name and atomically renamed, so a crash never
+// leaves a half-written report. -metrics also prints the snapshot to
+// stdout after each report.
 //
 // With -outdir the command also keeps a progress file (progress.txt)
 // naming each completed experiment. SIGINT or SIGTERM stops the sweep at
@@ -47,15 +50,16 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		seed   = flag.Uint64("seed", 2016, "random seed")
-		quick  = flag.Bool("quick", false, "reduced scale (for smoke runs)")
-		nmax   = flag.Int("nmax", 0, "evaluation budget (default: paper's 100)")
-		pool   = flag.Int("pool", 0, "configuration pool size (default: paper's 10000)")
-		trees  = flag.Int("trees", 0, "surrogate forest size (default 100)")
-		outdir = flag.String("outdir", "", "directory for CSV/value exports")
-		values = flag.Bool("values", false, "also print the named scalar values")
-		resume = flag.String("resume", "", "resume an interrupted sweep from DIR's progress file (implies -outdir DIR)")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed    = flag.Uint64("seed", 2016, "random seed")
+		quick   = flag.Bool("quick", false, "reduced scale (for smoke runs)")
+		nmax    = flag.Int("nmax", 0, "evaluation budget (default: paper's 100)")
+		pool    = flag.Int("pool", 0, "configuration pool size (default: paper's 10000)")
+		trees   = flag.Int("trees", 0, "surrogate forest size (default 100)")
+		outdir  = flag.String("outdir", "", "directory for CSV/value exports")
+		values  = flag.Bool("values", false, "also print the named scalar values")
+		metrics = flag.Bool("metrics", false, "also print each experiment's telemetry metrics snapshot")
+		resume  = flag.String("resume", "", "resume an interrupted sweep from DIR's progress file (implies -outdir DIR)")
 	)
 	flag.Parse()
 
@@ -113,6 +117,10 @@ func run() int {
 		if *values {
 			fmt.Println("values:")
 			fmt.Print(experiments.Summary(rep))
+		}
+		if *metrics && rep.Metrics != "" {
+			fmt.Println("metrics:")
+			fmt.Print(rep.Metrics)
 		}
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 
@@ -193,6 +201,12 @@ func export(dir string, rep *experiments.Report) error {
 	if len(rep.Values) > 0 {
 		path := filepath.Join(dir, rep.ID+"-values.txt")
 		if err := writeFileAtomic(path, []byte(experiments.Summary(rep))); err != nil {
+			return err
+		}
+	}
+	if rep.Metrics != "" {
+		path := filepath.Join(dir, rep.ID+"-metrics.txt")
+		if err := writeFileAtomic(path, []byte(rep.Metrics)); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,293 @@
+// Command tracestat summarizes a JSONL search trace written by
+// autotune -trace (or any obs.JSONLSink).
+//
+// Usage:
+//
+//	tracestat FILE
+//	tracestat -          # read the trace from stdin
+//
+// It prints, per search in the trace: the run header (algorithm,
+// problem, evaluation statuses, best run), a wall-time breakdown of the
+// instrumented phases (model scoring, model fits, journal appends,
+// checkpoints), and the convergence table — the best-so-far curve
+// reconstructed purely from the trace's evaluation events.
+//
+// Exit codes: 0 success, 1 unreadable or malformed trace, 2 bad usage.
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+
+func run(args []string, w io.Writer) int {
+	if len(args) != 1 || strings.HasPrefix(args[0], "-") && args[0] != "-" {
+		fmt.Fprintln(os.Stderr, "usage: tracestat FILE   (use - for stdin)")
+		return exitUsage
+	}
+	var r io.Reader = os.Stdin
+	if args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracestat:", err)
+			return exitError
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := obs.ReadTrace(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		return exitError
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(os.Stderr, "tracestat: trace holds no events")
+		return exitError
+	}
+	render(w, analyze(events))
+	return exitOK
+}
+
+// phaseTime accumulates the wall time of one instrumented phase.
+type phaseTime struct {
+	name   string
+	events int
+	calls  int
+	dur    time.Duration
+}
+
+// curvePoint is one improvement step of the best-so-far curve.
+type curvePoint struct {
+	seq    int
+	clock  float64
+	best   float64
+	config string
+}
+
+// traceStats is everything tracestat reports about one trace.
+type traceStats struct {
+	events    int
+	algorithm string
+	problem   string
+
+	evals    int
+	byStatus map[string]int
+	retried  int
+	retries  int
+	skipped  int
+	cacheHit int
+
+	bestRun   float64
+	bestSeq   int
+	bestClock float64
+	clock     float64
+
+	phases []phaseTime
+	curve  []curvePoint
+
+	journalAppends int
+	checkpoints    int
+	faults         int
+	degraded       []string
+}
+
+// analyze folds a trace into its statistics. Only evaluation events
+// contribute to the convergence curve, so the curve is reconstructable
+// from a trace alone — no Result needed.
+func analyze(events []obs.Event) *traceStats {
+	st := &traceStats{
+		events:   len(events),
+		byStatus: map[string]int{},
+		bestRun:  math.Inf(1),
+	}
+	phases := map[string]*phaseTime{}
+	phase := func(name string) *phaseTime {
+		p, ok := phases[name]
+		if !ok {
+			p = &phaseTime{name: name}
+			phases[name] = p
+		}
+		return p
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindSearchStart:
+			st.algorithm, st.problem = e.Algo, e.Problem
+		case obs.KindSearchFinish:
+			st.clock = e.Elapsed
+		case obs.KindEval:
+			st.evals++
+			st.byStatus[e.Status]++
+			if e.N > 0 {
+				st.retried++
+				st.retries += e.N
+			}
+			if e.Elapsed > st.clock {
+				st.clock = e.Elapsed
+			}
+			if e.Status == "ok" && e.Value < st.bestRun {
+				st.bestRun = e.Value
+				st.bestSeq = e.Seq
+				st.bestClock = e.Elapsed
+				st.curve = append(st.curve, curvePoint{
+					seq: e.Seq, clock: e.Elapsed, best: e.Value, config: e.Config,
+				})
+			}
+		case obs.KindSkip:
+			st.skipped++
+		case obs.KindCacheHit:
+			st.cacheHit++
+		case obs.KindFault:
+			st.faults++
+		case obs.KindDegraded:
+			st.degraded = append(st.degraded, e.Detail)
+		case obs.KindModelPredict:
+			p := phase("model-predict/" + e.Detail)
+			p.events++
+			p.calls += e.N
+			p.dur += e.Dur
+		case obs.KindModelFit:
+			p := phase("model-fit/" + e.Detail)
+			p.events++
+			p.calls += e.N
+			p.dur += e.Dur
+		case obs.KindJournalAppend:
+			st.journalAppends++
+			p := phase("journal-append")
+			p.events++
+			p.calls++
+			p.dur += e.Dur
+		case obs.KindCheckpoint:
+			st.checkpoints++
+			p := phase("checkpoint")
+			p.events++
+			p.calls++
+			p.dur += e.Dur
+		}
+	}
+	for _, p := range phases {
+		st.phases = append(st.phases, *p)
+	}
+	sort.Slice(st.phases, func(a, b int) bool {
+		if st.phases[a].dur != st.phases[b].dur {
+			return st.phases[a].dur > st.phases[b].dur
+		}
+		return st.phases[a].name < st.phases[b].name
+	})
+	return st
+}
+
+// bestSoFar reconstructs the full best-so-far trajectory (one entry per
+// evaluation, +Inf before the first clean measurement) from the trace's
+// evaluation events — the same sequence Result.BestSoFar returns.
+func bestSoFar(events []obs.Event) []float64 {
+	var out []float64
+	best := math.Inf(1)
+	for _, e := range events {
+		if e.Kind != obs.KindEval {
+			continue
+		}
+		if e.Status == "ok" && !math.IsInf(e.Value, 0) && !math.IsNaN(e.Value) && e.Value < best {
+			best = e.Value
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+func render(w io.Writer, st *traceStats) {
+	fmt.Fprintf(w, "trace: %d events\n\n", st.events)
+
+	fmt.Fprintln(w, "run")
+	fmt.Fprintf(w, "  algorithm:    %s\n", orDash(st.algorithm))
+	fmt.Fprintf(w, "  problem:      %s\n", orDash(st.problem))
+	fmt.Fprintf(w, "  evaluations:  %d (%s)\n", st.evals, statusLine(st))
+	fmt.Fprintf(w, "  skipped:      %d\n", st.skipped)
+	if st.cacheHit > 0 {
+		fmt.Fprintf(w, "  cache hits:   %d\n", st.cacheHit)
+	}
+	if st.faults > 0 {
+		fmt.Fprintf(w, "  faults:       %d\n", st.faults)
+	}
+	for _, d := range st.degraded {
+		fmt.Fprintf(w, "  degraded:     %s\n", d)
+	}
+	if !math.IsInf(st.bestRun, 0) {
+		fmt.Fprintf(w, "  best run:     %.4f s (evaluation %d, clock %.1f s)\n",
+			st.bestRun, st.bestSeq+1, st.bestClock)
+	}
+	fmt.Fprintf(w, "  search clock: %.1f s\n", st.clock)
+
+	if len(st.phases) > 0 {
+		var total time.Duration
+		for _, p := range st.phases {
+			total += p.dur
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "wall-time breakdown")
+		fmt.Fprintf(w, "  %-28s %8s %8s %12s %7s\n", "phase", "events", "calls", "wall", "share")
+		for _, p := range st.phases {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(p.dur) / float64(total)
+			}
+			fmt.Fprintf(w, "  %-28s %8d %8d %12s %6.1f%%\n",
+				p.name, p.events, p.calls, p.dur.Round(time.Microsecond), share)
+		}
+		fmt.Fprintf(w, "  %-28s %8s %8s %12s\n", "total", "", "", total.Round(time.Microsecond))
+	}
+
+	if len(st.curve) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "convergence (best-so-far)")
+		fmt.Fprintf(w, "  %6s %12s %12s   %s\n", "eval", "clock(s)", "best(s)", "config")
+		for _, c := range st.curve {
+			fmt.Fprintf(w, "  %6d %12.1f %12.4f   %s\n", c.seq+1, c.clock, c.best, c.config)
+		}
+	}
+}
+
+func statusLine(st *traceStats) string {
+	parts := make([]string, 0, len(st.byStatus)+1)
+	for _, s := range sortedStatusKeys(st.byStatus) {
+		parts = append(parts, fmt.Sprintf("%d %s", st.byStatus[s], s))
+	}
+	if st.retried > 0 {
+		parts = append(parts, fmt.Sprintf("%d retried (%d extra attempts)", st.retried, st.retries))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func sortedStatusKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

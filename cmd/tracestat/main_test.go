@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/space"
+)
+
+// toy is a deterministic problem whose run time varies with the config,
+// so the best-so-far curve has several improvement steps.
+type toy struct{ spc *space.Space }
+
+func newToy() *toy {
+	return &toy{spc: space.New(
+		space.NewIntRange("a", 0, 9),
+		space.NewIntRange("b", 0, 9),
+	)}
+}
+
+func (t *toy) Name() string        { return "toy" }
+func (t *toy) Space() *space.Space { return t.spc }
+func (t *toy) Evaluate(c space.Config) (float64, float64) {
+	v := float64((c[0]-3)*(c[0]-3)+(c[1]-7)*(c[1]-7)) + 1
+	return v, v
+}
+
+// traceSearch runs a traced RS and returns both the Result and the
+// decoded trace events.
+func traceSearch(t *testing.T, nmax int) (*search.Result, []obs.Event) {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	ctx := obs.WithTracer(context.Background(), obs.New(sink))
+	res := search.RS(ctx, newToy(), nmax, rng.New(5))
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, events
+}
+
+// TestCurveMatchesResultBestSoFar is the acceptance criterion: the
+// best-so-far trajectory reconstructed from the trace alone must equal
+// the one computed from the in-memory Result.
+func TestCurveMatchesResultBestSoFar(t *testing.T) {
+	res, events := traceSearch(t, 40)
+	want := res.BestSoFar()
+	got := bestSoFar(events)
+	if len(got) != len(want) {
+		t.Fatalf("curve length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] && !(math.IsInf(got[i], 1) && math.IsInf(want[i], 1)) {
+			t.Fatalf("curve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAnalyzeAndRender(t *testing.T) {
+	res, events := traceSearch(t, 25)
+	st := analyze(events)
+	if st.algorithm != "RS" || st.problem != "toy" {
+		t.Fatalf("header: %q %q", st.algorithm, st.problem)
+	}
+	if st.evals != len(res.Records) {
+		t.Fatalf("evals = %d, want %d", st.evals, len(res.Records))
+	}
+	best, idx, _ := res.Best()
+	if st.bestRun != best.RunTime || st.bestSeq != idx {
+		t.Fatalf("best = %v@%d, want %v@%d", st.bestRun, st.bestSeq, best.RunTime, idx)
+	}
+	if st.clock != res.Elapsed() {
+		t.Fatalf("clock = %v, want %v", st.clock, res.Elapsed())
+	}
+	// The curve rows are exactly the improvement steps.
+	prev := math.Inf(1)
+	steps := 0
+	for i, b := range res.BestSoFar() {
+		if b < prev {
+			steps++
+			prev = b
+			_ = i
+		}
+	}
+	if len(st.curve) != steps {
+		t.Fatalf("curve rows = %d, want %d improvement steps", len(st.curve), steps)
+	}
+
+	var out bytes.Buffer
+	render(&out, st)
+	text := out.String()
+	for _, want := range []string{"algorithm:    RS", "problem:      toy",
+		"convergence (best-so-far)", "search clock:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunReadsFileAndStdin(t *testing.T) {
+	_, events := traceSearch(t, 10)
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	for _, e := range events {
+		sink.Emit(e)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/trace.jsonl"
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{path}, &out); code != exitOK {
+		t.Fatalf("run = %d", code)
+	}
+	if !strings.Contains(out.String(), "trace:") {
+		t.Fatalf("no summary in output:\n%s", out.String())
+	}
+	if code := run([]string{path, "extra"}, &out); code != exitUsage {
+		t.Fatalf("usage error = %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{path + ".missing"}, &out); code != exitError {
+		t.Fatalf("missing file = %d, want %d", code, exitError)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/forest"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/search"
 	"repro/internal/space"
@@ -197,15 +198,21 @@ func Run(ctx context.Context, src, tgt search.Problem, opt Options) (*Outcome, e
 	// Phase 2: fit the surrogate. When the source search lost too many
 	// evaluations to failures, the surrogate cannot be trusted; instead
 	// of erroring, degrade gracefully to model-free search.
+	tr := obs.FromContext(ctx)
 	sur, err := FitSurrogate(out.Ta, src.Space(), src.Name(), opt.Forest, rng.NewNamed(opt.Seed, "forest"))
 	if err != nil {
 		if !errors.Is(err, ErrTooFewValid) {
 			return nil, err
 		}
 		out.Degraded = true
-		out.Warnings = append(out.Warnings, fmt.Sprintf(
-			"surrogate unavailable (%v); RSp and RSb fall back to plain RS", err))
+		warning := fmt.Sprintf(
+			"surrogate unavailable (%v); RSp and RSb fall back to plain RS", err)
+		out.Warnings = append(out.Warnings, warning)
+		tr.Degraded(warning)
 		sur = nil
+	} else if tr.Enabled() {
+		rows, dur := sur.Forest.FitStats()
+		tr.ModelFit(src.Name(), rows, dur)
 	}
 
 	// Phase 3: target runs.

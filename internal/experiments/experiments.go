@@ -26,6 +26,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/machine"
 	"repro/internal/miniapps"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/sim"
 	"repro/internal/tabulate"
@@ -90,6 +91,11 @@ type Report struct {
 	// Values holds named scalar results, e.g. "pearson" or
 	// "LU/Westmere->Sandybridge/RSb/search".
 	Values map[string]float64
+	// Metrics is the telemetry snapshot aggregated over every search the
+	// experiment ran (evaluation counts by status, skips, model latency).
+	// It is kept out of Text: metrics include wall-clock observations,
+	// and Text must stay deterministic for golden assertions.
+	Metrics string
 }
 
 type runner func(context.Context, Config) (*Report, error)
@@ -131,6 +137,12 @@ func Run(ctx context.Context, id string, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
 			id, strings.Join(IDs(), ", "))
 	}
+	// Every experiment aggregates telemetry into its own registry. Any
+	// tracer already on ctx (e.g. a -trace JSONL sink) keeps receiving
+	// events via fan-out.
+	reg := obs.NewRegistry()
+	sink := obs.Multi(obs.NewMetricsSink(reg), obs.FromContext(ctx).Sink())
+	ctx = obs.WithTracer(ctx, obs.New(sink))
 	rep, err := e.run(ctx, cfg.WithDefaults())
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, fmt.Errorf("experiments: %s interrupted: %w", id, cerr)
@@ -141,6 +153,7 @@ func Run(ctx context.Context, id string, cfg Config) (*Report, error) {
 	rep.ID = id
 	rep.Title = e.title
 	rep.Text = e.title + "\n" + strings.Repeat("=", len(e.title)) + "\n\n" + rep.Text
+	rep.Metrics = reg.Snapshot()
 	return rep, nil
 }
 

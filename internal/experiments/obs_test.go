@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment run aggregates telemetry into Report.Metrics; the
+// snapshot must carry the evaluation counters while Text stays free of
+// wall-clock-dependent metrics so golden comparisons remain stable.
+func TestReportCarriesMetricsSnapshot(t *testing.T) {
+	rep := run(t, "table4", Quick(31))
+	if rep.Metrics == "" {
+		t.Fatal("report has no metrics snapshot")
+	}
+	for _, want := range []string{"counters:", "evals.total"} {
+		if !strings.Contains(rep.Metrics, want) {
+			t.Fatalf("metrics snapshot missing %q:\n%s", want, rep.Metrics)
+		}
+	}
+	if strings.Contains(rep.Text, "counters:") {
+		t.Fatal("metrics leaked into the deterministic report text")
+	}
+}

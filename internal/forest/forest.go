@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/rng"
 )
@@ -48,6 +49,8 @@ type Forest struct {
 	nf       int
 	oobError float64
 	oobValid bool
+	fitRows  int
+	fitDur   time.Duration
 }
 
 // Fit trains a random forest on X, y using the deterministic stream r.
@@ -55,6 +58,7 @@ type Forest struct {
 // substream, so the result is independent of scheduling and identical to
 // a sequential fit).
 func Fit(X [][]float64, y []float64, p Params, r *rng.RNG) (*Forest, error) {
+	fitStart := time.Now()
 	if len(X) == 0 || len(X) != len(y) {
 		return nil, fmt.Errorf("forest: need non-empty, equal-length X and y (%d, %d)", len(X), len(y))
 	}
@@ -142,8 +146,16 @@ func Fit(X [][]float64, y []float64, p Params, r *rng.RNG) (*Forest, error) {
 		f.oobError = math.Sqrt(sse / float64(cnt))
 		f.oobValid = true
 	}
+	f.fitRows = n
+	f.fitDur = time.Since(fitStart)
 	return f, nil
 }
+
+// FitStats reports how the forest was trained: the number of training
+// rows and the wall-clock time Fit took. The duration is observational
+// only — it never influences predictions or any seeded stream — and
+// feeds model-fit telemetry events.
+func (f *Forest) FitStats() (rows int, dur time.Duration) { return f.fitRows, f.fitDur }
 
 // Predict returns the forest prediction (mean over trees) for x.
 func (f *Forest) Predict(x []float64) float64 {

@@ -17,9 +17,9 @@ type prob struct{ spc *space.Space }
 
 func newProb() *prob {
 	s := space.New(
-		space.Param{Name: "a", Values: []string{"0", "1", "2", "3", "4", "5", "6", "7"}},
-		space.Param{Name: "b", Values: []string{"0", "1", "2", "3", "4", "5", "6", "7"}},
-		space.Param{Name: "c", Values: []string{"0", "1", "2", "3", "4", "5", "6", "7"}},
+		space.NewIntRange("a", 0, 7),
+		space.NewIntRange("b", 0, 7),
+		space.NewIntRange("c", 0, 7),
 	)
 	return &prob{spc: s}
 }

@@ -1,0 +1,44 @@
+package journal
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// A traced journaled run must emit one JournalAppend event per
+// evaluation and at least one Checkpoint event (the final one), and
+// tracing must not change the journaled result.
+func TestJournalEmitsAppendAndCheckpointEvents(t *testing.T) {
+	ref, _, err := RunRS(context.Background(), t.TempDir(), newFaulty(29), 20, 29, nil, WrapOptions{CheckpointEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &obs.MemorySink{}
+	ctx := obs.WithTracer(context.Background(), obs.New(sink))
+	got, info, err := RunRS(ctx, t.TempDir(), newFaulty(29), 20, 29, nil, WrapOptions{CheckpointEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Done {
+		t.Fatalf("info = %+v", info)
+	}
+	sameResults(t, ref, got)
+
+	appends := sink.ByKind(obs.KindJournalAppend)
+	if len(appends) != len(got.Records) {
+		t.Fatalf("%d journal-append events for %d records", len(appends), len(got.Records))
+	}
+	cps := sink.ByKind(obs.KindCheckpoint)
+	if len(cps) < 2 {
+		// 20 evaluations at CheckpointEvery:5 yields periodic
+		// checkpoints plus the final one.
+		t.Fatalf("%d checkpoint events, want periodic + final", len(cps))
+	}
+	final := cps[len(cps)-1]
+	if final.Detail != "done" || final.N != len(got.Records) {
+		t.Fatalf("final checkpoint event = %+v", final)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/search"
 	"repro/internal/space"
@@ -136,8 +138,16 @@ func (w *Recorder) EvaluateFull(ctx context.Context, c space.Config) search.Outc
 		Config: c, RunTime: out.RunTime, Cost: out.Cost,
 		Status: out.Status, Retries: out.Retries,
 	}
+	tr := obs.FromContext(ctx)
+	var t0 time.Time
+	if tr.Enabled() {
+		t0 = time.Now()
+	}
 	if err := w.s.Append(rec); err != nil {
 		return w.abort(fmt.Errorf("%v: %w", err, search.ErrAborted))
+	}
+	if tr.Enabled() {
+		tr.JournalAppend(w.idx, time.Since(t0))
 	}
 	w.idx++
 	w.elapsed += out.Cost
@@ -147,8 +157,14 @@ func (w *Recorder) EvaluateFull(ctx context.Context, c space.Config) search.Outc
 	w.sinceCp++
 	if w.sinceCp >= w.opts.CheckpointEvery {
 		w.sinceCp = 0
+		if tr.Enabled() {
+			t0 = time.Now()
+		}
 		if err := w.s.WriteCheckpoint(false, 0, w.lastStates); err != nil {
 			return w.abort(fmt.Errorf("%v: %w", err, search.ErrAborted))
+		}
+		if tr.Enabled() {
+			tr.Checkpoint(w.idx, false, time.Since(t0))
 		}
 	}
 	return out
@@ -305,8 +321,16 @@ func finalize(ctx context.Context, s *Session, w *Recorder, res *search.Result, 
 		return nil, info, err
 	}
 	info.Done = ctx.Err() == nil
+	tr := obs.FromContext(ctx)
+	var t0 time.Time
+	if tr.Enabled() {
+		t0 = time.Now()
+	}
 	if err := s.WriteCheckpoint(info.Done, res.Skipped, w.lastStates); err != nil {
 		return nil, info, err
+	}
+	if tr.Enabled() {
+		tr.Checkpoint(s.Len(), info.Done, time.Since(t0))
 	}
 	return res, info, nil
 }

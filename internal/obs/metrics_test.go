@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if reg.Counter("x") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := reg.Gauge("y")
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogramSummaryAndQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 2, 3, 50, 200} {
+		h.Observe(v)
+	}
+	n, mean, min, max := h.Summary()
+	if n != 5 || min != 0.5 || max != 200 {
+		t.Fatalf("summary n=%d min=%v max=%v", n, min, max)
+	}
+	if want := (0.5 + 2 + 3 + 50 + 200) / 5; math.Abs(mean-want) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", mean, want)
+	}
+	// 3 of 5 observations are <= 10, so the 0.5-quantile bound is 10.
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("p50 bound = %v, want 10", q)
+	}
+	// The top observation lands in the +Inf bucket.
+	if q := h.Quantile(0.99); !math.IsInf(q, 1) {
+		t.Fatalf("p99 bound = %v, want +Inf", q)
+	}
+	if empty := reg.Histogram("empty", nil); !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+func TestSnapshotIsSortedAndComplete(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.count").Add(2)
+	reg.Counter("a.count").Add(1)
+	reg.Gauge("g").Set(1.25)
+	reg.Histogram("lat", []float64{1}).Observe(0.5)
+	snap := reg.Snapshot()
+	ai, bi := strings.Index(snap, "a.count"), strings.Index(snap, "b.count")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("counters missing or unsorted:\n%s", snap)
+	}
+	for _, want := range []string{"counters:", "gauges:", "histograms:", "1.25", "n=1"} {
+		if !strings.Contains(snap, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+	if NewRegistry().Snapshot() != "" {
+		t.Fatal("empty registry should render empty snapshot")
+	}
+}
+
+func TestMetricsSinkFoldsEvents(t *testing.T) {
+	reg := NewRegistry()
+	tr := New(NewMetricsSink(reg))
+
+	tr.SearchStart("RS", "LU")
+	tr.Eval("RS", "LU", 0, []int{1}, 5.0, 2, 2, "ok", 0)
+	tr.Eval("RS", "LU", 1, []int{2}, 3.0, 2, 4, "ok", 2)
+	tr.Eval("RS", "LU", 2, []int{3}, 30.0, 2, 6, "censored", 0)
+	tr.Eval("RS", "LU", 3, []int{4}, math.Inf(1), 2, 8, "failed", 1)
+	tr.Skip("RSp", "LU", 0, []int{5}, 9, 5)
+	tr.CacheHit("GA", "LU", 0, []int{6})
+	tr.Censor("LU", []int{3}, 90, 30)
+	tr.Timeout("LU", nil)
+	tr.Fault("LU", []int{4}, 1, nil)
+	tr.Degraded("no surrogate")
+	tr.ModelPredict("RSp", "pool", 100, time.Millisecond)
+	tr.ModelFit("src", 50, 10*time.Millisecond)
+	tr.JournalAppend(0, time.Millisecond)
+	tr.Checkpoint(1, false, time.Millisecond)
+	tr.SearchFinish("RS", "LU", 4, 0, 3.0, 8)
+
+	checks := map[string]int64{
+		MetricSearches:                 1,
+		MetricEvals:                    4,
+		MetricEvalsPrefix + "ok":       2,
+		MetricEvalsPrefix + "censored": 1,
+		MetricEvalsPrefix + "failed":   1,
+		MetricRetries:                  3,
+		MetricSkips:                    1,
+		MetricCacheHits:                1,
+		MetricCensorKills:              1,
+		MetricInterrupts:               1,
+		MetricFaults:                   1,
+		MetricDegraded:                 1,
+		MetricPredictCalls:             100,
+		MetricFitCount:                 1,
+		MetricAppends:                  1,
+		MetricCheckpoints:              1,
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge(MetricBestRunTime).Value(); got != 3.0 {
+		t.Errorf("best gauge = %v, want 3", got)
+	}
+	if got := reg.Gauge(MetricSearchClock).Value(); got != 8 {
+		t.Errorf("clock gauge = %v, want 8", got)
+	}
+	if n := reg.Histogram(MetricPredictPerCall, nil).Count(); n != 1 {
+		t.Errorf("predict latency observations = %d, want 1", n)
+	}
+}
+
+func TestMetricsSinkBestIgnoresCensoredAndFailed(t *testing.T) {
+	reg := NewRegistry()
+	tr := New(NewMetricsSink(reg))
+	tr.Eval("RS", "LU", 0, []int{1}, 5.0, 1, 1, "ok", 0)
+	tr.Eval("RS", "LU", 1, []int{2}, 1.0, 1, 2, "censored", 0)
+	tr.Eval("RS", "LU", 2, []int{3}, 0.5, 1, 3, "failed", 0)
+	if got := reg.Gauge(MetricBestRunTime).Value(); got != 5.0 {
+		t.Fatalf("best gauge = %v, want 5 (censored/failed must not count)", got)
+	}
+}

@@ -1,0 +1,475 @@
+// Package obs is the telemetry layer of the search stack: structured
+// tracing plus a small metrics registry, with zero dependencies beyond
+// the standard library.
+//
+// Tracing is event-based. Instrumented code holds a *Tracer (usually
+// recovered from the context via FromContext) and calls its typed
+// helpers — Eval, Skip, Retry, Censor, ModelFit, ... — which build an
+// Event and hand it to the Tracer's Sink. A nil *Tracer is the disabled
+// state: every helper checks for it before doing any work, so the
+// untraced hot path performs no formatting and no allocation. New
+// collapses a no-op sink to that same nil tracer, which is what makes
+// the "no-op sink" configuration measurably free (see bench_test.go).
+//
+// Telemetry must never perturb results. Nothing in this package draws
+// randomness or touches the injected rng streams; the only
+// non-determinism it observes is wall-clock durations, which are
+// recorded beside the simulated search clock, never mixed into it. A
+// traced run and an untraced run with the same seed therefore produce
+// bit-identical search Results (asserted by TestTracingDoesNotPerturbSearch).
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind is the type of a trace event.
+type Kind uint8
+
+const (
+	// KindSearchStart opens one search run (algorithm + problem).
+	KindSearchStart Kind = iota
+	// KindSearchFinish closes a run; N is the evaluation count, Value the
+	// final best run time, Elapsed the total search clock.
+	KindSearchFinish
+	// KindEval is one completed evaluation record.
+	KindEval
+	// KindSkip is a candidate rejected by a pruning cutoff (RSp/RSpf);
+	// Value carries the prediction, Cost the cutoff it missed.
+	KindSkip
+	// KindCacheHit is a duplicate proposal served from the evaluation
+	// cache without spending budget (ensemble Drive).
+	KindCacheHit
+	// KindRetry is one retry decision after a transient failure; N is the
+	// attempt index, Cost the backoff charged to the search clock.
+	KindRetry
+	// KindCensor is a run killed at the timeout cap; Value is the raw run
+	// time, Cost the cap it was recorded at.
+	KindCensor
+	// KindTimeout is an evaluation cut short by context cancellation or
+	// deadline — it produced no record.
+	KindTimeout
+	// KindModelFit is one surrogate fit; N is the training-row count,
+	// Dur the wall time spent fitting.
+	KindModelFit
+	// KindModelPredict aggregates a batch of model predictions; N is the
+	// call count, Dur the total wall time.
+	KindModelPredict
+	// KindCheckpoint is one checkpoint write; N is the covered cursor.
+	KindCheckpoint
+	// KindJournalAppend is one durable journal append; N is the entry index.
+	KindJournalAppend
+	// KindFault is an evaluation attempt that failed (injected or real).
+	KindFault
+	// KindDegraded is a graceful fallback (e.g. surrogate unavailable,
+	// model variants degrading to plain RS).
+	KindDegraded
+)
+
+var kindNames = map[Kind]string{
+	KindSearchStart:   "search-start",
+	KindSearchFinish:  "search-finish",
+	KindEval:          "eval",
+	KindSkip:          "skip",
+	KindCacheHit:      "cache-hit",
+	KindRetry:         "retry",
+	KindCensor:        "censor",
+	KindTimeout:       "timeout",
+	KindModelFit:      "model-fit",
+	KindModelPredict:  "model-predict",
+	KindCheckpoint:    "checkpoint",
+	KindJournalAppend: "journal-append",
+	KindFault:         "fault",
+	KindDegraded:      "degraded",
+}
+
+// String names the kind as it appears in traces.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind is the inverse of Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// MarshalJSON renders the kind by name, so traces stay readable and
+// stable across re-orderings of the constant block.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(k.String())), nil
+}
+
+// UnmarshalJSON parses a kind name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return err
+	}
+	parsed, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+// Event is one telemetry record. Fields are kind-specific (see the Kind
+// docs); unused ones stay zero and are omitted from JSONL traces.
+type Event struct {
+	Kind Kind `json:"kind"`
+	// Seq is the evaluation index within the run, -1 when not tied to one.
+	Seq     int    `json:"seq,omitempty"`
+	Algo    string `json:"algo,omitempty"`
+	Problem string `json:"problem,omitempty"`
+	// Config is the candidate's level vector rendered "a,b,c".
+	Config string `json:"config,omitempty"`
+	// Value / Cost / Elapsed are simulated quantities: run time (or
+	// prediction), search-clock charge, cumulative search clock.
+	Value   float64 `json:"value,omitempty"`
+	Cost    float64 `json:"cost,omitempty"`
+	Elapsed float64 `json:"elapsed,omitempty"`
+	Status  string  `json:"status,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+	// N is a kind-specific count (batch size, attempt, cursor, ...).
+	N int `json:"n,omitempty"`
+	// Dur is measured wall time, serialized as nanoseconds. It is the
+	// only non-deterministic field: it describes the harness, never the
+	// simulated experiment.
+	Dur time.Duration `json:"wall_ns,omitempty"`
+}
+
+// jsonFloat encodes a float64 for traces, representing the non-finite
+// values encoding/json rejects ("+Inf", "-Inf", "NaN") as strings.
+// Failed evaluations legitimately carry +Inf run times, and a trace
+// writer must never lose events over them.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *jsonFloat) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		s, err := strconv.Unquote(string(data))
+		if err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf", "Inf":
+			*f = jsonFloat(math.Inf(1))
+		case "-Inf":
+			*f = jsonFloat(math.Inf(-1))
+		case "NaN":
+			*f = jsonFloat(math.NaN())
+		default:
+			return fmt.Errorf("obs: bad float %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// eventJSON is Event's wire form: identical layout, with the float
+// fields swapped for the non-finite-safe jsonFloat.
+type eventJSON struct {
+	Kind    Kind          `json:"kind"`
+	Seq     int           `json:"seq,omitempty"`
+	Algo    string        `json:"algo,omitempty"`
+	Problem string        `json:"problem,omitempty"`
+	Config  string        `json:"config,omitempty"`
+	Value   jsonFloat     `json:"value,omitempty"`
+	Cost    jsonFloat     `json:"cost,omitempty"`
+	Elapsed jsonFloat     `json:"elapsed,omitempty"`
+	Status  string        `json:"status,omitempty"`
+	Detail  string        `json:"detail,omitempty"`
+	N       int           `json:"n,omitempty"`
+	Dur     time.Duration `json:"wall_ns,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler via the non-finite-safe wire
+// form.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		Kind: e.Kind, Seq: e.Seq, Algo: e.Algo, Problem: e.Problem,
+		Config: e.Config, Value: jsonFloat(e.Value), Cost: jsonFloat(e.Cost),
+		Elapsed: jsonFloat(e.Elapsed), Status: e.Status, Detail: e.Detail,
+		N: e.N, Dur: e.Dur,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*e = Event{
+		Kind: j.Kind, Seq: j.Seq, Algo: j.Algo, Problem: j.Problem,
+		Config: j.Config, Value: float64(j.Value), Cost: float64(j.Cost),
+		Elapsed: float64(j.Elapsed), Status: j.Status, Detail: j.Detail,
+		N: j.N, Dur: j.Dur,
+	}
+	return nil
+}
+
+// Sink receives trace events. Implementations must tolerate events of
+// every kind and must not mutate them.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer emits typed events to a sink. The nil *Tracer is valid and
+// disabled: every method returns immediately, before formatting any
+// argument, which keeps the untraced hot path allocation-free.
+type Tracer struct {
+	sink Sink
+}
+
+// New returns a tracer over sink. A nil sink, or the no-op sink,
+// collapses to the nil (disabled) tracer so that "tracing off" and
+// "tracing to nowhere" share the same free fast path.
+func New(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	if _, nop := sink.(NopSink); nop {
+		return nil
+	}
+	return &Tracer{sink: sink}
+}
+
+// Enabled reports whether events will be emitted.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Sink returns the tracer's sink (nil when disabled), so callers can
+// compose it with additional sinks via Multi.
+func (t *Tracer) Sink() Sink {
+	if t == nil {
+		return nil
+	}
+	return t.sink
+}
+
+// Emit sends a raw event. Prefer the typed helpers.
+func (t *Tracer) Emit(e Event) {
+	if t.Enabled() {
+		t.sink.Emit(e)
+	}
+}
+
+// ConfigString renders a candidate's level vector for traces.
+func ConfigString(c []int) string {
+	var b strings.Builder
+	for i, v := range c {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// SearchStart marks the beginning of one search run.
+func (t *Tracer) SearchStart(algo, problem string) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindSearchStart, Seq: -1, Algo: algo, Problem: problem})
+}
+
+// SearchFinish marks the end of a run with its totals. best is the best
+// measured run time (+Inf when nothing measured), elapsed the final
+// search clock.
+func (t *Tracer) SearchFinish(algo, problem string, evals, skipped int, best, elapsed float64) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{
+		Kind: KindSearchFinish, Seq: -1, Algo: algo, Problem: problem,
+		N: evals, Value: best, Elapsed: elapsed,
+		Detail: "skipped=" + strconv.Itoa(skipped),
+	})
+}
+
+// Eval records one completed evaluation.
+func (t *Tracer) Eval(algo, problem string, seq int, config []int,
+	runTime, cost, elapsed float64, status string, retries int) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{
+		Kind: KindEval, Seq: seq, Algo: algo, Problem: problem,
+		Config: ConfigString(config),
+		Value:  runTime, Cost: cost, Elapsed: elapsed,
+		Status: status, N: retries,
+	})
+}
+
+// Skip records a candidate pruned by a cutoff: its prediction (or source
+// measurement) pred missed cutoff.
+func (t *Tracer) Skip(algo, problem string, seq int, config []int, pred, cutoff float64) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{
+		Kind: KindSkip, Seq: seq, Algo: algo, Problem: problem,
+		Config: ConfigString(config), Value: pred, Cost: cutoff,
+	})
+}
+
+// CacheHit records a duplicate proposal served without spending budget.
+func (t *Tracer) CacheHit(algo, problem string, seq int, config []int) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{
+		Kind: KindCacheHit, Seq: seq, Algo: algo, Problem: problem,
+		Config: ConfigString(config),
+	})
+}
+
+// Retry records one retry decision: attempt failed transiently and the
+// evaluator will try again after charging backoff to the search clock.
+func (t *Tracer) Retry(problem string, config []int, attempt int, backoff float64, err error) {
+	if !t.Enabled() {
+		return
+	}
+	e := Event{
+		Kind: KindRetry, Seq: -1, Problem: problem,
+		Config: ConfigString(config), N: attempt, Cost: backoff,
+	}
+	if err != nil {
+		e.Detail = err.Error()
+	}
+	t.sink.Emit(e)
+}
+
+// Censor records a run killed at the timeout cap: raw is the uncapped
+// run time, cap what the record carries.
+func (t *Tracer) Censor(problem string, config []int, raw, cap float64) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{
+		Kind: KindCensor, Seq: -1, Problem: problem,
+		Config: ConfigString(config), Value: raw, Cost: cap,
+	})
+}
+
+// Timeout records an evaluation cut short by context cancellation or
+// deadline; no record was produced.
+func (t *Tracer) Timeout(problem string, err error) {
+	if !t.Enabled() {
+		return
+	}
+	e := Event{Kind: KindTimeout, Seq: -1, Problem: problem}
+	if err != nil {
+		e.Detail = err.Error()
+	}
+	t.sink.Emit(e)
+}
+
+// ModelFit records one surrogate fit over rows training rows.
+func (t *Tracer) ModelFit(source string, rows int, dur time.Duration) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindModelFit, Seq: -1, Detail: source, N: rows, Dur: dur})
+}
+
+// ModelPredict aggregates a batch of n model predictions taking dur of
+// wall time in the named phase ("pool-score", "scan", ...).
+func (t *Tracer) ModelPredict(algo, phase string, n int, dur time.Duration) {
+	if !t.Enabled() || n == 0 {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindModelPredict, Seq: -1, Algo: algo, Detail: phase, N: n, Dur: dur})
+}
+
+// Checkpoint records one checkpoint write covering cursor entries.
+func (t *Tracer) Checkpoint(cursor int, done bool, dur time.Duration) {
+	if !t.Enabled() {
+		return
+	}
+	e := Event{Kind: KindCheckpoint, Seq: -1, N: cursor, Dur: dur}
+	if done {
+		e.Detail = "done"
+	}
+	t.sink.Emit(e)
+}
+
+// JournalAppend records one durable journal append of entry idx.
+func (t *Tracer) JournalAppend(idx int, dur time.Duration) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindJournalAppend, Seq: -1, N: idx, Dur: dur})
+}
+
+// Fault records a failed evaluation attempt.
+func (t *Tracer) Fault(problem string, config []int, attempt int, err error) {
+	if !t.Enabled() {
+		return
+	}
+	e := Event{
+		Kind: KindFault, Seq: -1, Problem: problem,
+		Config: ConfigString(config), N: attempt,
+	}
+	if err != nil {
+		e.Detail = err.Error()
+	}
+	t.sink.Emit(e)
+}
+
+// Degraded records a graceful fallback with its explanation.
+func (t *Tracer) Degraded(detail string) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindDegraded, Seq: -1, Detail: detail})
+}
+
+// ctxKey keys the tracer in a context.
+type ctxKey struct{}
+
+// WithTracer returns a context carrying t. Searches, evaluators, and the
+// journal layer recover it with FromContext, so telemetry threads
+// through the existing context plumbing without new parameters.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the context's tracer, or the nil (disabled) tracer
+// when none was attached.
+func FromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(ctxKey{}).(*Tracer)
+	return t
+}

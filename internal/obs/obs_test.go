@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafeAndDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Sink() != nil {
+		t.Fatal("nil tracer has a sink")
+	}
+	// Every helper must be callable on the nil tracer.
+	tr.SearchStart("RS", "LU")
+	tr.SearchFinish("RS", "LU", 10, 0, 1.0, 2.0)
+	tr.Eval("RS", "LU", 0, []int{1, 2}, 1.0, 2.0, 2.0, "ok", 0)
+	tr.Skip("RSp", "LU", 0, []int{1}, 1, 2)
+	tr.CacheHit("GA", "LU", 0, []int{1})
+	tr.Retry("LU", []int{1}, 0, 1, errors.New("x"))
+	tr.Censor("LU", []int{1}, 100, 30)
+	tr.Timeout("LU", context.Canceled)
+	tr.ModelFit("src", 10, time.Second)
+	tr.ModelPredict("RSp", "pool", 10, time.Second)
+	tr.Checkpoint(3, true, time.Millisecond)
+	tr.JournalAppend(3, time.Millisecond)
+	tr.Fault("LU", []int{1}, 1, errors.New("boom"))
+	tr.Degraded("fallback")
+	tr.Emit(Event{Kind: KindEval})
+}
+
+func TestNewCollapsesNopSink(t *testing.T) {
+	if New(nil) != nil {
+		t.Fatal("New(nil) is not the disabled tracer")
+	}
+	if New(NopSink{}) != nil {
+		t.Fatal("New(NopSink) is not the disabled tracer")
+	}
+	if New(&MemorySink{}) == nil {
+		t.Fatal("New(real sink) is disabled")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("empty context yields tracer %v", got)
+	}
+	sink := &MemorySink{}
+	tr := New(sink)
+	ctx := WithTracer(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %v, want %v", got, tr)
+	}
+	FromContext(ctx).Eval("RS", "LU", 0, []int{3, 1, 4}, 1.5, 2.5, 2.5, "ok", 1)
+	evs := sink.Events()
+	if len(evs) != 1 || evs[0].Kind != KindEval || evs[0].Config != "3,1,4" {
+		t.Fatalf("unexpected events %+v", evs)
+	}
+	if evs[0].N != 1 || evs[0].Value != 1.5 {
+		t.Fatalf("event fields lost: %+v", evs[0])
+	}
+}
+
+func TestKindStringParseRoundTrip(t *testing.T) {
+	for k := range kindNames {
+		parsed, err := ParseKind(k.String())
+		if err != nil || parsed != k {
+			t.Fatalf("round trip %v -> %q -> %v, %v", k, k.String(), parsed, err)
+		}
+	}
+	if _, err := ParseKind("nonsense"); err == nil {
+		t.Fatal("ParseKind accepted nonsense")
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Fatalf("unknown kind renders %q", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := New(sink)
+	tr.SearchStart("RS", "LU")
+	tr.Eval("RS", "LU", 0, []int{1, 2, 3}, 0.5, 4, 4, "ok", 0)
+	tr.Censor("LU", []int{1, 2, 3}, 90, 30)
+	tr.SearchFinish("RS", "LU", 1, 0, 0.5, 4)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	if evs[0].Kind != KindSearchStart || evs[1].Kind != KindEval ||
+		evs[2].Kind != KindCensor || evs[3].Kind != KindSearchFinish {
+		t.Fatalf("kinds wrong: %+v", evs)
+	}
+	if evs[1].Config != "1,2,3" || evs[1].Cost != 4 {
+		t.Fatalf("eval event lost fields: %+v", evs[1])
+	}
+	if evs[2].Value != 90 || evs[2].Cost != 30 {
+		t.Fatalf("censor event lost fields: %+v", evs[2])
+	}
+}
+
+// TestJSONLNonFiniteValues: failed evaluations carry +Inf run times, and
+// the trace writer must round-trip them rather than dropping events
+// (encoding/json rejects non-finite numbers).
+func TestJSONLNonFiniteValues(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := New(sink)
+	tr.Eval("RS", "LU", 0, []int{1}, math.Inf(1), 1, 1, "failed", 0)
+	tr.Eval("RS", "LU", 1, []int{2}, math.Inf(-1), 1, 2, "failed", 0)
+	tr.Eval("RS", "LU", 2, []int{3}, math.NaN(), 1, 3, "failed", 0)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if !math.IsInf(evs[0].Value, 1) || !math.IsInf(evs[1].Value, -1) || !math.IsNaN(evs[2].Value) {
+		t.Fatalf("non-finite values lost: %+v", evs)
+	}
+}
+
+func TestMultiFansOutAndCollapses(t *testing.T) {
+	if Multi() != nil {
+		t.Fatal("Multi() should be nil")
+	}
+	if Multi(nil, NopSink{}) != nil {
+		t.Fatal("Multi of nils should be nil")
+	}
+	a, b := &MemorySink{}, &MemorySink{}
+	if got := Multi(a); got != Sink(a) {
+		t.Fatal("Multi(one) should return it unchanged")
+	}
+	tr := New(Multi(a, nil, b))
+	tr.Degraded("x")
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out failed: %d, %d", a.Len(), b.Len())
+	}
+}
+
+func TestMemorySinkByKind(t *testing.T) {
+	s := &MemorySink{}
+	tr := New(s)
+	tr.Skip("RSp", "LU", 0, []int{1}, 1, 2)
+	tr.Eval("RSp", "LU", 0, []int{2}, 1, 1, 1, "ok", 0)
+	tr.Skip("RSp", "LU", 1, []int{3}, 3, 2)
+	if got := len(s.ByKind(KindSkip)); got != 2 {
+		t.Fatalf("ByKind(skip) = %d, want 2", got)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset left events")
+	}
+}
+
+func TestProgressSinkRenders(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressSink(&buf, time.Nanosecond)
+	// Deterministic clock so the rate maths cannot divide by zero.
+	base := time.Unix(0, 0)
+	step := 0
+	p.now = func() time.Time { step++; return base.Add(time.Duration(step) * time.Second) }
+	tr := New(p)
+	tr.SearchStart("RS", "LU")
+	tr.Eval("RS", "LU", 0, []int{1}, 2.5, 1, 1, "ok", 0)
+	tr.Eval("RS", "LU", 1, []int{2}, 1.5, 1, 2, "ok", 0)
+	tr.SearchFinish("RS", "LU", 2, 0, 1.5, 2)
+	out := buf.String()
+	if !strings.Contains(out, "RS") || !strings.Contains(out, "best=1.5000s") {
+		t.Fatalf("progress output missing fields: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("finish did not terminate the line: %q", out)
+	}
+}
+
+func TestProgressSinkFinishAfterInterrupt(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressSink(&buf, time.Hour) // never redraw on its own
+	tr := New(p)
+	tr.SearchStart("RS", "LU")
+	tr.Eval("RS", "LU", 0, []int{1}, 2.5, 1, 1, "ok", 0)
+	p.Finish()
+	if out := buf.String(); !strings.Contains(out, "evals=1") || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Finish did not flush pending state: %q", out)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if got := ConfigString(nil); got != "" {
+		t.Fatalf("ConfigString(nil) = %q", got)
+	}
+	if got := ConfigString([]int{7}); got != "7" {
+		t.Fatalf("ConfigString = %q", got)
+	}
+	if got := ConfigString([]int{1, 0, 12}); got != "1,0,12" {
+		t.Fatalf("ConfigString = %q", got)
+	}
+}
+
+func TestTracerEmitsNoEventForZeroPredictBatch(t *testing.T) {
+	s := &MemorySink{}
+	New(s).ModelPredict("RSp", "pool", 0, time.Second)
+	if s.Len() != 0 {
+		t.Fatal("zero-size predict batch emitted an event")
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// ProgressSink renders a live one-line progress display ("\r"-rewritten)
+// from the event stream: algorithm, evaluations done, best-so-far run
+// time, simulated search clock, and wall-clock evaluations per second.
+// It exists purely on the output side — it never influences the search —
+// and throttles redraws to keep terminal overhead negligible.
+type ProgressSink struct {
+	mu       sync.Mutex
+	w        io.Writer
+	interval time.Duration
+	now      func() time.Time
+
+	algo     string
+	evals    int
+	best     float64
+	elapsed  float64
+	started  time.Time
+	lastDraw time.Time
+	dirty    bool
+	wrote    bool
+}
+
+// NewProgressSink returns a progress renderer writing to w (typically
+// stderr), redrawing at most every interval (default 100ms).
+func NewProgressSink(w io.Writer, interval time.Duration) *ProgressSink {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	return &ProgressSink{w: w, interval: interval, best: math.Inf(1), now: time.Now}
+}
+
+// Emit implements Sink.
+func (p *ProgressSink) Emit(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e.Kind {
+	case KindSearchStart:
+		p.algo = e.Algo
+		p.evals = 0
+		p.best = math.Inf(1)
+		p.elapsed = 0
+		p.started = p.now()
+		p.lastDraw = time.Time{}
+		p.dirty = true
+	case KindEval:
+		p.evals++
+		p.elapsed = e.Elapsed
+		if e.Status == "ok" && e.Value < p.best {
+			p.best = e.Value
+		}
+		p.dirty = true
+	case KindSearchFinish:
+		p.draw()
+		if p.wrote {
+			fmt.Fprintln(p.w)
+			p.wrote = false
+		}
+		return
+	default:
+		return
+	}
+	if now := p.now(); now.Sub(p.lastDraw) >= p.interval {
+		p.lastDraw = now
+		p.draw()
+	}
+}
+
+// draw renders the current line. Callers hold p.mu.
+func (p *ProgressSink) draw() {
+	if !p.dirty {
+		return
+	}
+	p.dirty = false
+	best := "-"
+	if !math.IsInf(p.best, 1) {
+		best = fmt.Sprintf("%.4fs", p.best)
+	}
+	rate := 0.0
+	if wall := p.now().Sub(p.started).Seconds(); wall > 0 {
+		rate = float64(p.evals) / wall
+	}
+	fmt.Fprintf(p.w, "\r%-6s evals=%-5d best=%-10s clock=%-10.1f %6.1f eval/s",
+		p.algo, p.evals, best, p.elapsed, rate)
+	p.wrote = true
+}
+
+// Finish terminates a partially drawn line (e.g. after an interrupted
+// run whose SearchFinish never fired).
+func (p *ProgressSink) Finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.draw()
+	if p.wrote {
+		fmt.Fprintln(p.w)
+		p.wrote = false
+	}
+}

@@ -29,6 +29,8 @@ type Technique interface {
 // failures without poisoning their internal state.
 func Drive(ctx context.Context, p Problem, t Technique, nmax int) *Result {
 	run := newRunner(p, t.Name())
+	run.start(ctx)
+	defer run.finish()
 	seen := map[string]float64{}
 	misses := 0
 	for len(run.res.Records) < nmax && misses < 50*nmax && ctx.Err() == nil {
@@ -41,6 +43,7 @@ func Drive(ctx context.Context, p Problem, t Technique, nmax int) *Result {
 			// advances its internal state, without spending budget. A
 			// cached failure (+Inf) is withheld the same as a live one.
 			misses++
+			run.tr.CacheHit(run.res.Algorithm, run.res.Problem, len(run.res.Records), c)
 			if !math.IsInf(cached, 0) && !math.IsNaN(cached) {
 				t.Report(c, cached)
 			}

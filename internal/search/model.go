@@ -3,7 +3,9 @@ package search
 import (
 	"context"
 	"sort"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/space"
 	"repro/internal/stats"
@@ -13,6 +15,43 @@ import (
 // *forest.Forest satisfies it.
 type Model interface {
 	Predict(x []float64) float64
+}
+
+// timedModel wraps a Model and accumulates the wall time its Predict
+// calls take. The model-guided searches install it only when tracing is
+// enabled, so the untraced scoring loop calls the model directly with
+// zero overhead. Wall time never feeds back into the search: it is an
+// observation about the harness, not a simulated quantity.
+type timedModel struct {
+	m   Model
+	n   int
+	dur time.Duration
+}
+
+// Predict implements Model.
+func (tm *timedModel) Predict(x []float64) float64 {
+	t0 := time.Now()
+	v := tm.m.Predict(x)
+	tm.dur += time.Since(t0)
+	tm.n++
+	return v
+}
+
+// flush emits the accumulated calls as one model-predict event for the
+// named phase and resets the counters.
+func (tm *timedModel) flush(tr *obs.Tracer, algo, phase string) {
+	tr.ModelPredict(algo, phase, tm.n, tm.dur)
+	tm.n, tm.dur = 0, 0
+}
+
+// timed installs a timedModel over m when tr is enabled; otherwise it
+// returns m itself and a nil wrapper.
+func timed(tr *obs.Tracer, m Model) (Model, *timedModel) {
+	if !tr.Enabled() {
+		return m, nil
+	}
+	tm := &timedModel{m: m}
+	return tm, tm
 }
 
 // RSpOptions configures random search with the pruning strategy
@@ -62,13 +101,20 @@ func RSp(ctx context.Context, p Problem, m Model, opt RSpOptions, r, poolR *rng.
 	opt = opt.withDefaults()
 	spc := p.Space()
 	run := newRunner(p, "RSp")
+	run.start(ctx)
+	defer run.finish()
+	scorer, tm := timed(run.tr, m)
 
 	pool := spc.SamplePool(opt.PoolSize, poolR)
 	preds := make([]float64, len(pool))
 	for i, c := range pool {
-		preds[i] = m.Predict(spc.Encode(c))
+		preds[i] = scorer.Predict(spc.Encode(c))
 	}
 	cutoff := stats.Quantile(preds, opt.DeltaPct/100)
+	if tm != nil {
+		tm.flush(run.tr, "RSp", "pool-score")
+		defer tm.flush(run.tr, "RSp", "scan")
+	}
 
 	sampler := space.NewSampler(spc, r)
 	considered := 0
@@ -78,12 +124,12 @@ func RSp(ctx context.Context, p Problem, m Model, opt RSpOptions, r, poolR *rng.
 			break
 		}
 		considered++
-		if m.Predict(spc.Encode(c)) < cutoff {
+		if pred := scorer.Predict(spc.Encode(c)); pred < cutoff {
 			if _, ok := run.evaluate(ctx, c); !ok {
 				break
 			}
 		} else {
-			run.res.Skipped++
+			run.skip(considered-1, c, pred, cutoff)
 		}
 	}
 	return run.res
@@ -116,6 +162,9 @@ func RSb(ctx context.Context, p Problem, m Model, opt RSbOptions, poolR *rng.RNG
 	opt = opt.withDefaults()
 	spc := p.Space()
 	run := newRunner(p, "RSb")
+	run.start(ctx)
+	defer run.finish()
+	scorer, tm := timed(run.tr, m)
 
 	pool := spc.SamplePool(opt.PoolSize, poolR)
 	type scored struct {
@@ -124,7 +173,10 @@ func RSb(ctx context.Context, p Problem, m Model, opt RSbOptions, poolR *rng.RNG
 	}
 	scoredPool := make([]scored, len(pool))
 	for i, c := range pool {
-		scoredPool[i] = scored{c: c, pred: m.Predict(spc.Encode(c))}
+		scoredPool[i] = scored{c: c, pred: scorer.Predict(spc.Encode(c))}
+	}
+	if tm != nil {
+		tm.flush(run.tr, "RSb", "pool-score")
 	}
 	// Evaluating in ascending predicted order is equivalent to repeatedly
 	// taking the argmin and removing it (the model is fixed).
@@ -149,6 +201,8 @@ func RSpf(ctx context.Context, p Problem, ta Dataset, deltaPct float64) *Result 
 		deltaPct = 20
 	}
 	run := newRunner(p, "RSpf")
+	run.start(ctx)
+	defer run.finish()
 	ta = ta.Valid()
 	if len(ta) == 0 {
 		return run.res
@@ -158,7 +212,7 @@ func RSpf(ctx context.Context, p Problem, ta Dataset, deltaPct float64) *Result 
 		ys[i] = s.RunTime
 	}
 	cutoff := stats.Quantile(ys, deltaPct/100)
-	for _, s := range ta {
+	for i, s := range ta {
 		if ctx.Err() != nil {
 			break
 		}
@@ -167,7 +221,7 @@ func RSpf(ctx context.Context, p Problem, ta Dataset, deltaPct float64) *Result 
 				break
 			}
 		} else {
-			run.res.Skipped++
+			run.skip(i, s.Config, s.RunTime, cutoff)
 		}
 	}
 	return run.res
@@ -179,6 +233,8 @@ func RSpf(ctx context.Context, p Problem, ta Dataset, deltaPct float64) *Result 
 // slow configurations they almost certainly are.
 func RSbf(ctx context.Context, p Problem, ta Dataset) *Result {
 	run := newRunner(p, "RSbf")
+	run.start(ctx)
+	defer run.finish()
 	ta = ta.Valid()
 	order := make([]int, len(ta))
 	for i := range order {
@@ -217,6 +273,8 @@ func RSbA(ctx context.Context, p Problem, initial Model, ta Dataset, opt RSbOpti
 	}
 	spc := p.Space()
 	run := newRunner(p, "RSbA")
+	run.start(ctx)
+	defer run.finish()
 
 	pool := spc.SamplePool(opt.PoolSize, poolR)
 	remaining := make([]space.Config, len(pool))
@@ -225,12 +283,19 @@ func RSbA(ctx context.Context, p Problem, initial Model, ta Dataset, opt RSbOpti
 	model := initial
 	observed := append(Dataset{}, ta...)
 
+	// One timed wrapper spans every refit generation: its inner model is
+	// swapped in place so the per-call latency metric covers the whole run.
+	scorer, tm := timed(run.tr, model)
+	if tm != nil {
+		defer tm.flush(run.tr, "RSbA", "scan")
+	}
+
 	for len(run.res.Records) < opt.NMax && len(remaining) > 0 && ctx.Err() == nil {
 		// Pick the argmin-predicted configuration from the remaining pool.
 		best := 0
-		bestPred := model.Predict(spc.Encode(remaining[0]))
+		bestPred := scorer.Predict(spc.Encode(remaining[0]))
 		for i := 1; i < len(remaining); i++ {
-			if pred := model.Predict(spc.Encode(remaining[i])); pred < bestPred {
+			if pred := scorer.Predict(spc.Encode(remaining[i])); pred < bestPred {
 				best, bestPred = i, pred
 			}
 		}
@@ -252,11 +317,23 @@ func RSbA(ctx context.Context, p Problem, initial Model, ta Dataset, opt RSbOpti
 		}
 
 		if len(run.res.Records)%refitEvery == 0 {
+			var t0 time.Time
+			if run.tr.Enabled() {
+				t0 = time.Now()
+			}
 			m, err := refit(observed)
 			if err != nil {
 				return nil, err
 			}
+			if run.tr.Enabled() {
+				run.tr.ModelFit("RSbA-refit", len(observed), time.Since(t0))
+			}
 			model = m
+			if tm != nil {
+				tm.m = model
+			} else {
+				scorer = model
+			}
 		}
 	}
 	return run.res, nil

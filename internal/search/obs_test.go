@@ -1,0 +1,187 @@
+package search
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// tracedCtx returns a context carrying a tracer over a fresh memory sink.
+func tracedCtx() (context.Context, *obs.MemorySink) {
+	sink := &obs.MemorySink{}
+	return obs.WithTracer(context.Background(), obs.New(sink)), sink
+}
+
+// fitBowlModel trains a small forest surrogate on bowl data, the same
+// way the model-search tests do.
+func fitBowlModel(t *testing.T, p *bowl, seed uint64) Model {
+	t.Helper()
+	res := RS(context.Background(), p, 60, rng.New(seed))
+	ds := DatasetFrom(res)
+	X, y := ds.Encode(p.Space())
+	f, err := forest.Fit(X, y, forest.Params{Trees: 20}, rng.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestTracingDoesNotPerturbSearch is the telemetry layer's hard
+// constraint: a traced run and an untraced run with the same seed must
+// produce bit-identical Results, across every algorithm family
+// (tracing draws no randomness and never touches the rng streams).
+func TestTracingDoesNotPerturbSearch(t *testing.T) {
+	model := fitBowlModel(t, newBowl(), 7)
+
+	runs := map[string]func(ctx context.Context) *Result{
+		"RS": func(ctx context.Context) *Result {
+			return RS(ctx, newBowl(), 40, rng.New(3))
+		},
+		"RSp": func(ctx context.Context) *Result {
+			return RSp(ctx, newBowl(), model,
+				RSpOptions{NMax: 20, PoolSize: 300}, rng.New(3), rng.New(4))
+		},
+		"RSb": func(ctx context.Context) *Result {
+			return RSb(ctx, newBowl(), model, RSbOptions{NMax: 20, PoolSize: 300}, rng.New(4))
+		},
+		"SA": func(ctx context.Context) *Result {
+			p := newBowl()
+			return Drive(ctx, p, NewAnneal(p.Space(), rng.New(5), 0.9), 30)
+		},
+		"resilient": func(ctx context.Context) *Result {
+			sp := newScripted()
+			for x := 0; x < 10; x++ {
+				// Every config: one transient crash, then a run censored
+				// at the cap — exercises retry, fault, and censor events.
+				sp.script[cfg(x).Key()] = []float64{-2, 90}
+			}
+			p := NewResilient(sp, ResilientOptions{Retries: 2, Timeout: 30})
+			return RS(ctx, p, 3, rng.New(6))
+		},
+	}
+	for name, run := range runs {
+		untraced := run(context.Background())
+		ctx, sink := tracedCtx()
+		traced := run(ctx)
+		if !reflect.DeepEqual(untraced, traced) {
+			t.Errorf("%s: traced result differs from untraced", name)
+		}
+		if sink.Len() == 0 {
+			t.Errorf("%s: traced run emitted no events", name)
+		}
+	}
+}
+
+func TestTraceEventsCoverSearchLifecycle(t *testing.T) {
+	ctx, sink := tracedCtx()
+	res := RS(ctx, newBowl(), 10, rng.New(1))
+
+	starts := sink.ByKind(obs.KindSearchStart)
+	if len(starts) != 1 || starts[0].Algo != "RS" || starts[0].Problem != "bowl" {
+		t.Fatalf("search-start events: %+v", starts)
+	}
+	evals := sink.ByKind(obs.KindEval)
+	if len(evals) != len(res.Records) {
+		t.Fatalf("%d eval events for %d records", len(evals), len(res.Records))
+	}
+	for i, e := range evals {
+		rec := res.Records[i]
+		if e.Seq != i || e.Value != rec.RunTime || e.Cost != rec.Cost ||
+			e.Elapsed != rec.Elapsed || e.Status != rec.Status.String() {
+			t.Fatalf("eval event %d = %+v does not match record %+v", i, e, rec)
+		}
+		if e.Config != obs.ConfigString(rec.Config) {
+			t.Fatalf("eval event %d config %q != record %v", i, e.Config, rec.Config)
+		}
+	}
+	fins := sink.ByKind(obs.KindSearchFinish)
+	if len(fins) != 1 {
+		t.Fatalf("search-finish events: %+v", fins)
+	}
+	best, _, _ := res.Best()
+	if fins[0].N != len(res.Records) || fins[0].Value != best.RunTime ||
+		fins[0].Elapsed != res.Elapsed() {
+		t.Fatalf("search-finish totals wrong: %+v", fins[0])
+	}
+}
+
+func TestTraceSkipAndPredictEvents(t *testing.T) {
+	model := fitBowlModel(t, newBowl(), 11)
+	ctx, sink := tracedCtx()
+	res := RSp(ctx, newBowl(), model,
+		RSpOptions{NMax: 15, PoolSize: 400, DeltaPct: 20}, rng.New(2), rng.New(3))
+
+	skips := sink.ByKind(obs.KindSkip)
+	if len(skips) != res.Skipped {
+		t.Fatalf("%d skip events for Skipped=%d", len(skips), res.Skipped)
+	}
+	for _, e := range skips {
+		if e.Value < e.Cost { // prediction beat the cutoff yet was skipped
+			t.Fatalf("skip event with pred %v < cutoff %v", e.Value, e.Cost)
+		}
+	}
+	preds := sink.ByKind(obs.KindModelPredict)
+	if len(preds) < 1 {
+		t.Fatal("no model-predict events")
+	}
+	var phases []string
+	total := 0
+	for _, e := range preds {
+		phases = append(phases, e.Detail)
+		total += e.N
+	}
+	if phases[0] != "pool-score" || preds[0].N != 400 {
+		t.Fatalf("pool scoring event wrong: %+v", preds[0])
+	}
+	// Every candidate either evaluated or skipped was scored once, plus
+	// the pool.
+	if want := 400 + len(res.Records) + res.Skipped; total != want {
+		t.Fatalf("predict calls = %d, want %d (phases %v)", total, want, phases)
+	}
+}
+
+func TestTraceResilientEvents(t *testing.T) {
+	ctx, sink := tracedCtx()
+	sp := newScripted()
+	sp.script[cfg(0).Key()] = []float64{-2, 90} // transient crash, then censored
+	sp.script[cfg(1).Key()] = []float64{5}      // clean
+	sp.script[cfg(2).Key()] = []float64{-1}     // permanent failure
+	p := NewResilient(sp, ResilientOptions{Retries: 2, Timeout: 30})
+
+	if out := p.EvaluateFull(ctx, cfg(0)); out.Status != StatusCensored {
+		t.Fatalf("first outcome %+v", out)
+	}
+	if out := p.EvaluateFull(ctx, cfg(1)); out.Status != StatusOK {
+		t.Fatalf("second outcome %+v", out)
+	}
+	if out := p.EvaluateFull(ctx, cfg(2)); out.Status != StatusFailed {
+		t.Fatalf("third outcome %+v", out)
+	}
+
+	retries := sink.ByKind(obs.KindRetry)
+	if len(retries) != 1 || retries[0].N != 0 || retries[0].Cost != 1 {
+		t.Errorf("retry events = %+v", retries)
+	}
+	censors := sink.ByKind(obs.KindCensor)
+	if len(censors) != 1 || censors[0].Value != 90 || censors[0].Cost != 30 {
+		t.Errorf("censor events = %+v", censors)
+	}
+	// Faults: the transient attempt and the permanent failure.
+	if got := len(sink.ByKind(obs.KindFault)); got != 2 {
+		t.Errorf("fault events = %d, want 2", got)
+	}
+}
+
+func TestTraceCacheHitEvents(t *testing.T) {
+	ctx, sink := tracedCtx()
+	p := newBowl()
+	// Pattern search on a tiny space quickly re-proposes visited points.
+	Drive(ctx, p, NewPattern(p.Space(), rng.New(9), 2), 25)
+	if sink.ByKind(obs.KindCacheHit) == nil {
+		t.Skip("no duplicate proposals in this run")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/space"
 )
 
@@ -127,8 +128,9 @@ func EvaluateFull(ctx context.Context, p Problem, c space.Config) Outcome {
 	}
 	run, cost := p.Evaluate(c)
 	if math.IsNaN(run) || math.IsInf(run, 0) {
-		return Outcome{RunTime: math.Inf(1), Cost: cost, Status: StatusFailed,
-			Err: fmt.Errorf("search: non-finite run time %v", run)}
+		err := fmt.Errorf("search: non-finite run time %v", run)
+		obs.FromContext(ctx).Fault(p.Name(), c, 0, err)
+		return Outcome{RunTime: math.Inf(1), Cost: cost, Status: StatusFailed, Err: err}
 	}
 	return Outcome{RunTime: run, Cost: cost, Status: StatusOK}
 }
@@ -197,9 +199,11 @@ func (r *Resilient) Evaluate(c space.Config) (runTime, cost float64) {
 // bit-exact prefix of the uninterrupted one.
 func (r *Resilient) EvaluateFull(ctx context.Context, c space.Config) Outcome {
 	opt := r.Opt.withDefaults()
+	tr := obs.FromContext(ctx)
 	total := 0.0
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
+			tr.Timeout(r.P.Name(), err)
 			return interrupted(err, total)
 		}
 		run, cost, err := r.P.TryEvaluate(c)
@@ -207,6 +211,7 @@ func (r *Resilient) EvaluateFull(ctx context.Context, c space.Config) Outcome {
 			if opt.Timeout > 0 && run > opt.Timeout {
 				// The run is killed at the cap: charge only the time
 				// actually spent (compile + capped run), record the cap.
+				tr.Censor(r.P.Name(), c, run, opt.Timeout)
 				total += cost - (run - opt.Timeout)
 				return Outcome{RunTime: opt.Timeout, Cost: total,
 					Status: StatusCensored, Retries: attempt}
@@ -215,10 +220,13 @@ func (r *Resilient) EvaluateFull(ctx context.Context, c space.Config) Outcome {
 			return Outcome{RunTime: run, Cost: total, Status: StatusOK, Retries: attempt}
 		}
 		total += cost
+		tr.Fault(r.P.Name(), c, attempt, err)
 		if !IsTransient(err) || attempt >= opt.Retries {
 			return Outcome{RunTime: math.Inf(1), Cost: total,
 				Status: StatusFailed, Retries: attempt, Err: err}
 		}
-		total += opt.Backoff * math.Pow(2, float64(attempt))
+		backoff := opt.Backoff * math.Pow(2, float64(attempt))
+		tr.Retry(r.P.Name(), c, attempt, backoff, err)
+		total += backoff
 	}
 }

@@ -244,4 +244,17 @@ func TestStatusRoundTrip(t *testing.T) {
 	if fmt.Sprint(StatusCensored) != "censored" {
 		t.Fatal("String not wired into fmt")
 	}
+	// Unknown values render the numeric fallback and refuse to parse.
+	if got := Status(99).String(); got != "status(99)" {
+		t.Fatalf("unknown status = %q", got)
+	}
+	if _, err := ParseStatus(Status(99).String()); err == nil {
+		t.Fatal("numeric fallback parsed as a valid status")
+	}
+	// A censored record that was also retried labels as censored: the
+	// retries are folded in only for clean measurements.
+	censored := Record{Status: StatusCensored, Retries: 2}
+	if censored.StatusLabel() != "censored" {
+		t.Fatalf("censored-with-retries label = %q", censored.StatusLabel())
+	}
 }

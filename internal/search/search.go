@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/space"
 )
@@ -273,10 +274,39 @@ func (d Dataset) Encode(s *space.Space) (X [][]float64, y []float64) {
 type runner struct {
 	p   Problem
 	res *Result
+	tr  *obs.Tracer
 }
 
 func newRunner(p Problem, algorithm string) *runner {
 	return &runner{p: p, res: &Result{Algorithm: algorithm, Problem: p.Name()}}
+}
+
+// start binds the context's tracer (nil when telemetry is off) and opens
+// the run's trace span. Every algorithm calls it once before its loop
+// and pairs it with a deferred finish.
+func (r *runner) start(ctx context.Context) {
+	r.tr = obs.FromContext(ctx)
+	r.tr.SearchStart(r.res.Algorithm, r.res.Problem)
+}
+
+// finish closes the run's trace span with its totals.
+func (r *runner) finish() {
+	if !r.tr.Enabled() {
+		return
+	}
+	best := math.Inf(1)
+	if rec, _, ok := r.res.Best(); ok {
+		best = rec.RunTime
+	}
+	r.tr.SearchFinish(r.res.Algorithm, r.res.Problem,
+		len(r.res.Records), r.res.Skipped, best, r.res.Elapsed())
+}
+
+// skip counts a candidate rejected by a pruning cutoff and traces the
+// decision (prediction pred missed cutoff).
+func (r *runner) skip(seq int, c space.Config, pred, cutoff float64) {
+	r.res.Skipped++
+	r.tr.Skip(r.res.Algorithm, r.res.Problem, seq, c, pred, cutoff)
 }
 
 // newRunnerWith seeds a runner with already-completed records (a journal
@@ -304,6 +334,10 @@ func (r *runner) evaluate(ctx context.Context, c space.Config) (Record, bool) {
 		Status:  out.Status, Retries: out.Retries,
 	}
 	r.res.Records = append(r.res.Records, rec)
+	if r.tr.Enabled() {
+		r.tr.Eval(r.res.Algorithm, r.res.Problem, len(r.res.Records)-1, rec.Config,
+			rec.RunTime, rec.Cost, rec.Elapsed, rec.Status.String(), rec.Retries)
+	}
 	return rec, true
 }
 
@@ -338,6 +372,8 @@ func ResumeRS(ctx context.Context, p Problem, nmax int, sampler *space.Sampler, 
 }
 
 func rsLoop(ctx context.Context, run *runner, nmax int, sampler *space.Sampler) *Result {
+	run.start(ctx)
+	defer run.finish()
 	for len(run.res.Records) < nmax && ctx.Err() == nil {
 		c, ok := sampler.Next()
 		if !ok {
@@ -355,6 +391,8 @@ func rsLoop(ctx context.Context, run *runner, nmax int, sampler *space.Sampler) 
 // RS, it stops cleanly between evaluations when ctx is cancelled.
 func Replay(ctx context.Context, p Problem, seq []space.Config, algorithm string) *Result {
 	run := newRunner(p, algorithm)
+	run.start(ctx)
+	defer run.finish()
 	for _, c := range seq {
 		if ctx.Err() != nil {
 			break
