@@ -1,16 +1,24 @@
 GO ?= go
 
-.PHONY: check build vet test race crashtest trace-smoke
+.PHONY: check build vet test race lint crashtest trace-smoke
 
-# check is the full local CI gate: build everything, vet, and run the
-# test suite under the race detector.
-check: build vet race
+# check is the full local CI gate: build everything, run the static
+# analyzers, and run the test suite under the race detector.
+check: build lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint is the static-analysis gate: gofmt (no unformatted files), go
+# vet, and the project's own analyzer suite (cmd/repolint), which
+# enforces the determinism/context/rng/float/error invariants.
+lint: vet
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) run ./cmd/repolint ./...
 
 test:
 	$(GO) test ./...

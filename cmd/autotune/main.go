@@ -181,7 +181,11 @@ func run() int {
 			warnf("%v", err)
 			return exitError
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				warnf("cpuprofile: %v", err)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			warnf("cpuprofile: %v", err)
 			return exitError
@@ -195,9 +199,11 @@ func run() int {
 				warnf("%v", err)
 				return
 			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				warnf("memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
 				warnf("memprofile: %v", err)
 			}
 		}()

@@ -1,0 +1,141 @@
+// Command repolint is the repository's static-analysis gate: it loads
+// every package of the module with the stdlib type checker and runs the
+// project-specific analyzer suite of internal/analysis, which
+// mechanically enforces the determinism, context-threading, rng-stream,
+// float-comparison, and error-handling invariants the paper's
+// common-random-numbers methodology depends on.
+//
+// Usage:
+//
+//	repolint [-json] [-list] [packages]
+//
+// Packages default to ./... (the whole module). Patterns are matched
+// against import paths: ./... selects everything, a ./dir/... prefix
+// selects a subtree, and a plain path selects one package. Findings
+// print as file:line:col: analyzer: message, or as one JSON object per
+// line with -json (non-finite witness values follow the internal/obs
+// trace conventions). Suppress a finding with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on (or directly above) the offending line, or //lint:file-ignore for
+// a whole file; unused and malformed directives are themselves
+// findings.
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line instead of text")
+	list := fs.Bool("list", false, "list the analyzers and the invariants they guard, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected, err := selectPackages(loader, pkgs, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+
+	diags := analysis.Lint(selected, analysis.All())
+	if *jsonOut {
+		err = analysis.WriteJSON(os.Stdout, loader.Root, diags)
+	} else {
+		err = analysis.WriteText(os.Stdout, loader.Root, diags)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s) in %d package(s)\n", len(diags), len(selected))
+		return 1
+	}
+	return 0
+}
+
+// selectPackages filters the loaded packages by go-style patterns
+// interpreted relative to the module root.
+func selectPackages(loader *analysis.Loader, pkgs []*analysis.Package, patterns []string) ([]*analysis.Package, error) {
+	keep := map[string]bool{}
+	for _, pat := range patterns {
+		matched := false
+		for _, pkg := range pkgs {
+			if matchPattern(loader.ModulePath, pat, pkg.Path) {
+				keep[pkg.Path] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	var out []*analysis.Package
+	for _, pkg := range pkgs {
+		if keep[pkg.Path] {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// matchPattern reports whether the import path matches one go-style
+// pattern: "./..." everything, "./x/..." a subtree, "./x" or an import
+// path one package.
+func matchPattern(modPath, pat, pkgPath string) bool {
+	pat = filepath.ToSlash(pat)
+	// Normalize a relative pattern to an import-path pattern.
+	if pat == "." || pat == "./..." {
+		return true
+	}
+	if rest, ok := strings.CutPrefix(pat, "./"); ok {
+		pat = modPath + "/" + rest
+	}
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return pkgPath == sub || strings.HasPrefix(pkgPath, sub+"/")
+	}
+	return pkgPath == pat
+}

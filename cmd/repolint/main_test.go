@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestMatchPattern(t *testing.T) {
+	const mod = "repro"
+	cases := []struct {
+		pat, pkg string
+		want     bool
+	}{
+		{"./...", "repro/internal/search", true},
+		{".", "repro/cmd/repolint", true},
+		{"./internal/...", "repro/internal/search", true},
+		{"./internal/...", "repro/internal", true},
+		{"./internal/...", "repro/cmd/autotune", false},
+		{"./internal/search", "repro/internal/search", true},
+		{"./internal/search", "repro/internal/search/sub", false},
+		{"repro/internal/rng", "repro/internal/rng", true},
+		{"repro/internal/rng", "repro/internal/rngx", false},
+		{"repro/internal/...", "repro/internal/rng", true},
+	}
+	for _, c := range cases {
+		if got := matchPattern(mod, c.pat, c.pkg); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.pat, c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestRunCleanTree runs the real binary entry point over the module:
+// the tree must be lint-clean (exit 0), -list must succeed, and an
+// unmatched pattern must be an operational error (exit 2), not a silent
+// no-op that would let CI "pass" while linting nothing.
+func TestRunCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	if got := run([]string{"./..."}); got != 0 {
+		t.Errorf("run(./...) = %d, want 0 (repository must stay lint-clean)", got)
+	}
+	if got := run([]string{"-list"}); got != 0 {
+		t.Errorf("run(-list) = %d, want 0", got)
+	}
+	if got := run([]string{"./no/such/dir/..."}); got != 2 {
+		t.Errorf("run(unmatched pattern) = %d, want 2", got)
+	}
+}

@@ -47,7 +47,8 @@ func run(args []string, w io.Writer) int {
 			fmt.Fprintln(os.Stderr, "tracestat:", err)
 			return exitError
 		}
-		defer f.Close()
+		// Read-only handle: a close failure cannot lose data.
+		defer func() { _ = f.Close() }()
 		r = f
 	}
 	events, err := obs.ReadTrace(r)

@@ -122,7 +122,7 @@ func writeTa(path string, ta search.Dataset, spc *space.Space) error {
 		return err
 	}
 	if err := ta.SaveCSV(f, spc); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -134,7 +134,7 @@ func writeModel(path string, sur *core.Surrogate) error {
 		return err
 	}
 	if err := sur.Forest.Save(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,133 @@
+// Package analysis implements repolint, a zero-dependency,
+// go/analysis-style static-analysis driver with project-specific
+// analyzers that mechanically enforce the repository's determinism
+// invariants.
+//
+// The paper's methodology rests on the method of common random numbers:
+// RS-versus-variant comparisons are only attributable to the search
+// strategies if every stochastic choice draws from injected, seeded
+// rng streams and nothing else perturbs the simulated clock. Those
+// invariants — no wall clock or global math/rand in the search/sim/core
+// hot paths, contexts threaded rather than re-rooted, rng streams
+// injected rather than constructed mid-search, no exact float equality
+// on measured run times, no silently dropped durability errors — were
+// previously enforced by convention and spot tests. This package turns
+// them into a compiler-grade gate: cmd/repolint loads every package in
+// the module with go/parser + go/types (stdlib only, keeping the module
+// zero-dep), runs the analyzer suite, and exits non-zero on findings.
+//
+// Diagnostics can be suppressed one line at a time with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// attached to the offending line (either trailing it or on the line
+// above), or per file with //lint:file-ignore. A reason is mandatory,
+// malformed directives are themselves diagnostics, and an ignore that
+// matches nothing is flagged as unused so suppressions cannot outlive
+// the code they excuse.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one named check. Analyzers are pure functions over a
+// type-checked package; they report findings through the Pass and never
+// mutate what they inspect.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in lint:ignore
+	// directives. It must be a single lowercase word.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// guards, shown by `repolint -list`.
+	Doc string
+	// Match restricts which packages the driver runs the analyzer over;
+	// nil means every package. Fixture packages under testdata/src get
+	// synthetic "fix/..." import paths, so path-scoped analyzers are
+	// exercised by nesting the fixture (testdata/src/nodeterm/internal/sim)
+	// rather than by bypassing Match.
+	Match func(pkgPath string) bool
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the package's import path (fixture packages get a
+	// synthetic one).
+	PkgPath string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos. The message should name the
+// invariant violated and, where possible, the fix.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportValuef is Reportf for findings that carry a numeric witness
+// (for example the constant a run time is compared against). The value
+// survives into -json output under the non-finite-safe conventions of
+// internal/obs, so NaN and ±Inf witnesses stay machine-readable.
+func (p *Pass) ReportValuef(pos token.Pos, value float64, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Value:    value,
+		HasValue: true,
+	})
+}
+
+// A Diagnostic is one finding, positioned in the original source.
+type Diagnostic struct {
+	// Analyzer names the check that produced the finding. Driver-level
+	// findings about the directives themselves use "lint".
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Value is an optional numeric witness (HasValue reports presence);
+	// it may legitimately be NaN or ±Inf.
+	Value    float64
+	HasValue bool
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by position, then analyzer, then
+// message, so output is deterministic across runs.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

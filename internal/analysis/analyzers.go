@@ -1,0 +1,10 @@
+package analysis
+
+// All returns the full analyzer suite in the order diagnostics should
+// mention them. The set is the contract between the codebase and the
+// paper's methodology: each analyzer guards one invariant that the
+// common-random-numbers comparisons (PAPER.md §IV-D) or the crash-safe
+// persistence layer depend on. DESIGN.md documents the mapping.
+func All() []*Analyzer {
+	return []*Analyzer{NoDeterm, CtxFlow, RNGStream, FloatCmp, ErrSink}
+}

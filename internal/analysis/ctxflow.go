@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context threading: cancellation and the telemetry
+// tracer both ride the context, so a function that re-roots its callees
+// at context.Background silently detaches them from graceful drain and
+// tracing. Two rules: (1) a function that receives a context.Context
+// must not call context.Background or context.TODO anywhere in its
+// body — thread the parameter; (2) outside package main (and tests,
+// which are exempt by construction), context.Background/TODO must not
+// be called at all — accept a ctx parameter instead. Interface-bridge
+// adapters that genuinely have no ctx to thread document themselves
+// with //lint:ignore directives.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag dropped or re-rooted contexts: Background/TODO in ctx-receiving functions and outside package main",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	isMain := pass.Pkg != nil && pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasCtx := funcHasCtxParam(pass.Info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if funcPkgPath(fn) != "context" || (fn.Name() != "Background" && fn.Name() != "TODO") {
+					return true
+				}
+				switch {
+				case hasCtx:
+					pass.Reportf(call.Pos(),
+						"%s receives a context.Context but calls context.%s: thread the ctx parameter so cancellation and tracing reach the callee",
+						fd.Name.Name, fn.Name())
+				case !isMain:
+					pass.Reportf(call.Pos(),
+						"context.%s outside package main: accept a ctx parameter so callers control cancellation and tracing",
+						fn.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// funcHasCtxParam reports whether fd declares a parameter (or receiver)
+// of type context.Context.
+func funcHasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}

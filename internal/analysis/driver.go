@@ -1,0 +1,119 @@
+package analysis
+
+// Lint runs the given analyzers over the given packages, applies the
+// //lint:ignore and //lint:file-ignore suppression directives, and
+// returns the surviving findings sorted by position.
+//
+// Directive handling follows three rules the test suite pins down:
+// a well-formed ignore silences exactly the diagnostics of its named
+// analyzer on its target line and nothing else; a malformed or
+// unknown-analyzer directive is itself a finding; and an ignore whose
+// target line produced no matching diagnostic is flagged as unused, so
+// stale suppressions cannot accumulate.
+func Lint(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{"lint": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	ran := map[string]*Analyzer{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+		ran[a.Name] = a
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, lintPackage(pkg, analyzers, known, ran)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func lintPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool, ran map[string]*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+			report:   func(d Diagnostic) { raw = append(raw, d) },
+		}
+		a.Run(pass)
+	}
+
+	// Directive findings (malformed, unknown, unused) are appended
+	// directly to kept: they are never suppressable.
+	var kept []Diagnostic
+	var directives []*directive
+	fset := pkg.Fset
+	for i, f := range pkg.Files {
+		src := pkg.Src[pkg.Filenames[i]]
+		ds := parseDirectives(fset, f, src, known, func(d Diagnostic) { kept = append(kept, d) })
+		directives = append(directives, ds...)
+	}
+
+	// fileIgnores[file] holds analyzers silenced for the whole file;
+	// lineIgnores[file:line] the per-line directives.
+	fileIgnores := map[string]map[string]bool{}
+	type lineKey struct {
+		file string
+		line int
+	}
+	lineIgnores := map[lineKey][]*directive{}
+	for _, d := range directives {
+		switch d.kind {
+		case ignoreFile:
+			m := fileIgnores[d.pos.Filename]
+			if m == nil {
+				m = map[string]bool{}
+				fileIgnores[d.pos.Filename] = m
+			}
+			m[d.analyzer] = true
+		case ignoreLine:
+			k := lineKey{d.pos.Filename, d.line}
+			lineIgnores[k] = append(lineIgnores[k], d)
+		}
+	}
+
+	for _, diag := range raw {
+		if fileIgnores[diag.Pos.Filename][diag.Analyzer] {
+			continue
+		}
+		suppressed := false
+		for _, d := range lineIgnores[lineKey{diag.Pos.Filename, diag.Pos.Line}] {
+			if d.analyzer == diag.Analyzer {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+
+	// An unused ignore is only meaningful when its analyzer actually
+	// ran over this package: a partial run (single analyzer, or a
+	// package outside the analyzer's Match scope) must not flag ignores
+	// that belong to checks it never performed.
+	for _, d := range directives {
+		if d.kind != ignoreLine || d.used {
+			continue
+		}
+		a, ok := ran[d.analyzer]
+		if !ok || (a.Match != nil && !a.Match(pkg.Path)) {
+			continue
+		}
+		kept = append(kept, Diagnostic{
+			Analyzer: "lint",
+			Pos:      d.pos,
+			Message:  "unused lint:ignore directive: no " + d.analyzer + " diagnostic on the target line",
+		})
+	}
+	return kept
+}

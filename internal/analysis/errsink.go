@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrSink guards the durability boundary: a journal append, fsync,
+// checkpoint, or Close whose error silently vanishes turns crash-safe
+// persistence into best-effort persistence, and the resume invariants
+// of internal/journal stop holding. The rule: a call statement (plain,
+// deferred, or go'd) that discards an error returned by a must-check
+// callee is flagged. Must-check callees are anything exported by
+// internal/journal plus any function or method named Close, Sync,
+// Flush, Append, or Checkpoint. Assigning the error to _ is an explicit
+// decision and stays allowed — the point is that dropping a durability
+// error must be visible in the code, not that it is always wrong.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "flag silently discarded errors from journal/durability operations and Close/Sync/Flush",
+	Run:  runErrSink,
+}
+
+// mustCheckNames are callee names whose error results must not be
+// silently dropped regardless of package.
+var mustCheckNames = map[string]bool{
+	"Close": true, "Sync": true, "Flush": true, "Append": true, "Checkpoint": true,
+}
+
+func runErrSink(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+				how = "discarded"
+			case *ast.DeferStmt:
+				call = n.Call
+				how = "deferred and discarded"
+			case *ast.GoStmt:
+				call = n.Call
+				how = "discarded in goroutine"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !lastResultIsError(fn) || !mustCheck(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s error from %s: durability failures must be handled, folded into the returned error, or explicitly dropped with _ =",
+				how, calleeLabel(fn))
+			return true
+		})
+	}
+}
+
+// mustCheck reports whether fn's error is load-bearing: every exported
+// error-returning function of internal/journal, plus the conventional
+// flush-like names anywhere.
+func mustCheck(fn *types.Func) bool {
+	if mustCheckNames[fn.Name()] {
+		return true
+	}
+	return strings.HasSuffix(funcPkgPath(fn), "internal/journal")
+}
+
+// calleeLabel renders fn as Recv.Name or pkg.Name for diagnostics.
+func calleeLabel(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// lintFixture loads the fixture package at testdata/src/<rel> and runs
+// the given analyzers over it through the full driver (including the
+// suppression machinery), returning the package and the surviving
+// diagnostics.
+func lintFixture(t *testing.T, rel string, analyzers ...*Analyzer) (*Package, []Diagnostic) {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", filepath.FromSlash(rel)))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", rel, err)
+	}
+	return pkg, Lint([]*Package{pkg}, analyzers)
+}
+
+// checkWants compares diagnostics against the fixture's golden
+// expectations: a trailing comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// on a source line demands at least one diagnostic on that line whose
+// "analyzer: message" rendering matches each pattern, and every
+// diagnostic must be claimed by some want on its line.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	type expectation struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	quoted := regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+	wants := map[key][]*expectation{}
+	for i, f := range pkg.Files {
+		name := pkg.Filenames[i]
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := quoted.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: want comment carries no quoted pattern", name, pos.Line)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", name, pos.Line, m[1], err)
+					}
+					k := key{name, pos.Line}
+					wants[k] = append(wants[k], &expectation{re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		full := d.Analyzer + ": " + d.Message
+		k := key{d.Pos.Filename, d.Pos.Line}
+		hit := false
+		for _, w := range wants[k] {
+			if w.re.MatchString(full) {
+				w.matched = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(k.file), k.line, full)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", filepath.Base(k.file), k.line, w.raw)
+			}
+		}
+	}
+}
+
+func TestNoDetermFixture(t *testing.T) {
+	pkg, diags := lintFixture(t, "nodeterm/internal/sim", NoDeterm)
+	if pkg.Path != "fix/nodeterm/internal/sim" {
+		t.Fatalf("fixture path = %q, want fix/nodeterm/internal/sim", pkg.Path)
+	}
+	if !NoDeterm.Match(pkg.Path) {
+		t.Fatalf("nodeterm Match rejects %q; the fixture no longer exercises the hot-path gate", pkg.Path)
+	}
+	checkWants(t, pkg, diags)
+}
+
+// TestNoDetermMatchGate pins the other half of the Match contract: the
+// same wall-clock calls in a package outside the hot paths produce no
+// findings at all, because the driver never runs the analyzer there.
+func TestNoDetermMatchGate(t *testing.T) {
+	_, diags := lintFixture(t, "rngstream", NoDeterm)
+	for _, d := range diags {
+		t.Errorf("nodeterm ran outside its Match scope: %s", d.String())
+	}
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	pkg, diags := lintFixture(t, "ctxflow", CtxFlow)
+	checkWants(t, pkg, diags)
+}
+
+func TestCtxFlowMainFixture(t *testing.T) {
+	pkg, diags := lintFixture(t, "ctxflowmain", CtxFlow)
+	if pkg.Types.Name() != "main" {
+		t.Fatalf("fixture package name = %q, want main", pkg.Types.Name())
+	}
+	checkWants(t, pkg, diags)
+}
+
+func TestRNGStreamFixture(t *testing.T) {
+	pkg, diags := lintFixture(t, "rngstream", RNGStream)
+	checkWants(t, pkg, diags)
+}
+
+func TestRNGStreamMidSearchFixture(t *testing.T) {
+	pkg, diags := lintFixture(t, "rngstream/internal/search", RNGStream)
+	if !isSearchPkg(pkg.Path) {
+		t.Fatalf("fixture path %q does not trip isSearchPkg; the mid-search rule is untested", pkg.Path)
+	}
+	checkWants(t, pkg, diags)
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	pkg, diags := lintFixture(t, "floatcmp", FloatCmp)
+	checkWants(t, pkg, diags)
+}
+
+func TestErrSinkFixture(t *testing.T) {
+	pkg, diags := lintFixture(t, "errsink", ErrSink)
+	checkWants(t, pkg, diags)
+}

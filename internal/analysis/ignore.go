@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/scanner"
+	"go/token"
+	"strings"
+)
+
+// directiveKind distinguishes the two suppression forms.
+type directiveKind int
+
+const (
+	ignoreLine directiveKind = iota // //lint:ignore <analyzer> <reason>
+	ignoreFile                      // //lint:file-ignore <analyzer> <reason>
+)
+
+// A directive is one parsed lint comment. Malformed comments never
+// become directives; parseDirectives reports them straight away.
+type directive struct {
+	kind     directiveKind
+	analyzer string
+	reason   string
+	pos      token.Position
+	// line is the source line the directive suppresses (ignoreLine
+	// only): the directive's own line when it trails code, otherwise
+	// the next line that holds code.
+	line int
+	used bool
+}
+
+const (
+	ignorePrefix     = "lint:ignore"
+	fileIgnorePrefix = "lint:file-ignore"
+)
+
+// parseDirectives extracts the suppression directives of one file.
+// known is the set of analyzer names that may legally be named;
+// malformed or unknown directives are reported via report under the
+// pseudo-analyzer "lint" and are themselves unsuppressable — a broken
+// suppression must never silence anything, including itself.
+func parseDirectives(fset *token.FileSet, f *ast.File, src []byte, known map[string]bool, report func(Diagnostic)) []*directive {
+	codeLines := codeLineSet(f, src)
+	var out []*directive
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSuffix(text, "*/")
+			text = strings.TrimSpace(text)
+			var kind directiveKind
+			var rest string
+			switch {
+			case strings.HasPrefix(text, fileIgnorePrefix):
+				kind, rest = ignoreFile, text[len(fileIgnorePrefix):]
+			case strings.HasPrefix(text, ignorePrefix):
+				kind, rest = ignoreLine, text[len(ignorePrefix):]
+			default:
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				report(malformed(fset, c, "want //lint:ignore <analyzer> <reason>"))
+				continue
+			}
+			name := fields[0]
+			if !known[name] {
+				report(malformed(fset, c, "unknown analyzer %q", name))
+				continue
+			}
+			d := &directive{
+				kind:     kind,
+				analyzer: name,
+				reason:   strings.Join(fields[1:], " "),
+				pos:      fset.Position(c.Pos()),
+			}
+			if kind == ignoreLine {
+				d.line = targetLine(d.pos.Line, codeLines)
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func malformed(fset *token.FileSet, c *ast.Comment, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Analyzer: "lint",
+		Pos:      fset.Position(c.Pos()),
+		Message:  "malformed lint directive: " + fmt.Sprintf(format, args...),
+	}
+}
+
+// codeLineSet returns the set of line numbers in the file that carry at
+// least one non-comment token, computed with go/scanner so multi-line
+// strings and comments cannot confuse directive targeting.
+func codeLineSet(f *ast.File, src []byte) map[int]bool {
+	lines := map[int]bool{}
+	name := "src.go"
+	if f.Name != nil {
+		name = f.Name.Name + ".go"
+	}
+	sf := token.NewFileSet().AddFile(name, -1, len(src))
+	var s scanner.Scanner
+	// Scan errors are ignored: the file already parsed, so the scan is
+	// a formality over known-good source.
+	s.Init(sf, src, nil, 0)
+	for {
+		pos, tok, _ := s.Scan()
+		if tok == token.EOF {
+			break
+		}
+		// Auto-inserted semicolons land on comment-only lines too; only
+		// real tokens make a line "code".
+		if tok == token.COMMENT || tok == token.SEMICOLON {
+			continue
+		}
+		lines[sf.Position(pos).Line] = true
+	}
+	return lines
+}
+
+// targetLine resolves which code line an ignore directive at dirLine
+// suppresses: its own line when code shares it, otherwise the next code
+// line (skipping blank and comment-only lines, so directives can stack
+// above the statement they excuse).
+func targetLine(dirLine int, codeLines map[int]bool) int {
+	if codeLines[dirLine] {
+		return dirLine
+	}
+	const maxGap = 10
+	for l := dirLine + 1; l <= dirLine+maxGap; l++ {
+		if codeLines[l] {
+			return l
+		}
+	}
+	return dirLine + 1
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+)
+
+// jsonDiagnostic is the -json wire form of one finding: one object per
+// line, stable field order, paths relative to root so output does not
+// depend on where the tree is checked out.
+type jsonDiagnostic struct {
+	Analyzer string    `json:"analyzer"`
+	File     string    `json:"file"`
+	Line     int       `json:"line"`
+	Col      int       `json:"col"`
+	Message  string    `json:"message"`
+	Value    *jsonsafe `json:"value,omitempty"`
+}
+
+// jsonsafe mirrors the non-finite-safe float convention of
+// internal/obs: encoding/json rejects NaN and ±Inf, but a floatcmp
+// witness is legitimately math.NaN(), so non-finite values encode as
+// the strings "+Inf", "-Inf", and "NaN" — exactly the convention
+// cmd/tracestat already parses in trace files.
+type jsonsafe float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonsafe) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting both the plain
+// number form and the non-finite string forms.
+func (f *jsonsafe) UnmarshalJSON(data []byte) error {
+	var num float64
+	if err := json.Unmarshal(data, &num); err == nil {
+		*f = jsonsafe(num)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "+Inf":
+		*f = jsonsafe(math.Inf(1))
+	case "-Inf":
+		*f = jsonsafe(math.Inf(-1))
+	case "NaN":
+		*f = jsonsafe(math.NaN())
+	default:
+		return fmt.Errorf("analysis: not a float value: %q", s)
+	}
+	return nil
+}
+
+// WriteJSON writes one diagnostic per line (JSONL, the format of
+// internal/obs traces) so tracestat-style tooling can consume findings.
+// Paths are rendered relative to root when possible.
+func WriteJSON(w io.Writer, root string, ds []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range ds {
+		jd := jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		}
+		if d.HasValue {
+			v := jsonsafe(d.Value)
+			jd.Value = &v
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText writes the conventional file:line:col form, one finding
+// per line.
+func WriteText(w io.Writer, root string, ds []Diagnostic) error {
+	for _, d := range ds {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: %s: %s\n",
+			relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func relPath(root, path string) string {
+	if root == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(root, path); err == nil && !filepath.IsAbs(rel) && rel != "" && !hasDotDot(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}
+
+func hasDotDot(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleDiagnostics() []Diagnostic {
+	return []Diagnostic{
+		{
+			Analyzer: "floatcmp",
+			Pos:      token.Position{Filename: "/mod/internal/x/a.go", Line: 3, Column: 9},
+			Message:  "comparison with math.NaN() is always false: use math.IsNaN",
+			Value:    math.NaN(),
+			HasValue: true,
+		},
+		{
+			Analyzer: "errsink",
+			Pos:      token.Position{Filename: "/mod/cmd/y/main.go", Line: 12, Column: 2},
+			Message:  "discarded error from File.Close",
+		},
+	}
+}
+
+// TestWriteJSON pins the JSONL wire format: one object per line, paths
+// relative to the module root, and non-finite witnesses encoded under
+// the internal/obs string convention so the output is always valid JSON.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/mod", sampleDiagnostics()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 is not valid JSON: %v", err)
+	}
+	if first["analyzer"] != "floatcmp" || first["file"] != "internal/x/a.go" ||
+		first["line"] != float64(3) || first["col"] != float64(9) {
+		t.Errorf("line 1 fields wrong: %v", first)
+	}
+	if first["value"] != "NaN" {
+		t.Errorf("NaN witness encoded as %v, want the string \"NaN\"", first["value"])
+	}
+
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 is not valid JSON: %v", err)
+	}
+	if _, ok := second["value"]; ok {
+		t.Errorf("witness-free diagnostic grew a value field: %v", second)
+	}
+	if second["file"] != "cmd/y/main.go" {
+		t.Errorf("line 2 file = %v, want cmd/y/main.go", second["file"])
+	}
+
+	// The stream round-trips through the same decoder convention.
+	var jd jsonDiagnostic
+	if err := json.Unmarshal([]byte(lines[0]), &jd); err != nil {
+		t.Fatalf("decoding back into jsonDiagnostic: %v", err)
+	}
+	if jd.Value == nil || !math.IsNaN(float64(*jd.Value)) {
+		t.Errorf("round-tripped witness = %v, want NaN", jd.Value)
+	}
+}
+
+func TestJSONSafeNonFinite(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.Inf(1), `"+Inf"`},
+		{math.Inf(-1), `"-Inf"`},
+		{math.NaN(), `"NaN"`},
+		{1.5, `1.5`},
+		{0, `0`},
+	}
+	for _, c := range cases {
+		got, err := json.Marshal(jsonsafe(c.in))
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", c.in, err)
+		}
+		if string(got) != c.want {
+			t.Errorf("Marshal(%v) = %s, want %s", c.in, got, c.want)
+		}
+		var back jsonsafe
+		if err := json.Unmarshal(got, &back); err != nil {
+			t.Fatalf("Unmarshal(%s): %v", got, err)
+		}
+		same := float64(back) == c.in || (math.IsNaN(float64(back)) && math.IsNaN(c.in))
+		if !same {
+			t.Errorf("round trip of %v came back as %v", c.in, float64(back))
+		}
+	}
+	var bad jsonsafe
+	if err := json.Unmarshal([]byte(`"seven"`), &bad); err == nil {
+		t.Error("decoding a non-numeric string silently succeeded")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, "/mod", sampleDiagnostics()); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	want := "internal/x/a.go:3:9: floatcmp: comparison with math.NaN() is always false: use math.IsNaN\n" +
+		"cmd/y/main.go:12:2: errsink: discarded error from File.Close\n"
+	if buf.String() != want {
+		t.Errorf("WriteText output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestRelPathOutsideRoot: files outside the root (stdlib positions, or
+// an empty root) must keep their absolute path rather than gaining a
+// misleading ../ prefix.
+func TestRelPathOutsideRoot(t *testing.T) {
+	if got := relPath("/mod", "/elsewhere/b.go"); got != "/elsewhere/b.go" {
+		t.Errorf("relPath escaped the root: %q", got)
+	}
+	if got := relPath("", "/mod/a.go"); got != "/mod/a.go" {
+		t.Errorf("relPath with empty root = %q", got)
+	}
+}

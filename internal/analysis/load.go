@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package plus everything the
+// driver needs afterwards: the syntax, the type information, and the
+// raw source bytes (directive targeting is token-exact and needs them).
+type Package struct {
+	// Path is the import path ("repro/internal/search"); fixture
+	// packages loaded by dir get a synthetic "fix/..." path.
+	Path string
+	// Dir is the absolute directory the sources came from.
+	Dir       string
+	Fset      *token.FileSet
+	Filenames []string
+	Files     []*ast.File
+	// Src maps filename to its raw bytes.
+	Src   map[string][]byte
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks the packages of one module using only
+// the standard library: module-internal imports resolve against the
+// module tree, everything else falls back to the source importer over
+// GOROOT. It implements types.Importer.
+type Loader struct {
+	Fset *token.FileSet
+	// Root is the module root (the directory holding go.mod).
+	Root string
+	// ModulePath is the module's declared path ("repro").
+	ModulePath string
+
+	std  types.Importer
+	pkgs map[string]*Package // by absolute dir
+	busy map[string]bool     // cycle detection, by absolute dir
+}
+
+// NewLoader locates the module root at or above dir and prepares a
+// loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		Root:       root,
+		ModulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		busy:       map[string]bool{},
+	}, nil
+}
+
+// findModuleRoot walks upward from dir until it finds go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// readModulePath extracts the module path from a go.mod file without
+// pulling in any module-parsing machinery: the first "module" line wins.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// LoadAll parses and type-checks every non-test package under the
+// module root, skipping testdata, hidden, and underscore directories.
+// Packages are returned sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package in dir. Fixture
+// directories outside the module tree (testdata) are given a synthetic
+// "fix/<rel>" import path; module imports inside them still resolve.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	return l.loadDir(dir)
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if lintableGoFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// lintableGoFile reports whether name is a non-test Go source file.
+// Test files are exempt from every analyzer by construction: repolint
+// checks the code that ships, and tests legitimately use wall clocks,
+// context.Background, and exact comparisons.
+func lintableGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// importPathFor maps an absolute directory to its import path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "fix/" + filepath.ToSlash(filepath.Base(dir))
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	rel = filepath.ToSlash(rel)
+	if i := strings.Index(rel, "testdata/src/"); i >= 0 {
+		return "fix/" + rel[i+len("testdata/src/"):]
+	}
+	return l.ModulePath + "/" + rel
+}
+
+// dirForImport maps a module-internal import path to its directory, or
+// "" if the path does not belong to the module.
+func (l *Loader) dirForImport(path string) string {
+	if path == l.ModulePath {
+		return l.Root
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.Root, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Import implements types.Importer: module-internal paths load (and
+// memoize) from source in the module tree; everything else delegates to
+// the GOROOT source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := l.dirForImport(path); dir != "" {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[abs]; ok {
+		return pkg, nil
+	}
+	if l.busy[abs] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", abs)
+	}
+	l.busy[abs] = true
+	defer delete(l.busy, abs)
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		Path: l.importPathFor(abs),
+		Dir:  abs,
+		Fset: l.Fset,
+		Src:  map[string][]byte{},
+	}
+	for _, e := range entries {
+		if e.IsDir() || !lintableGoFile(e.Name()) {
+			continue
+		}
+		filename := filepath.Join(abs, e.Name())
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.Fset, filename, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", filename, err)
+		}
+		pkg.Filenames = append(pkg.Filenames, filename)
+		pkg.Files = append(pkg.Files, f)
+		pkg.Src[filename] = src
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("analysis: no lintable Go files in %s", abs)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(pkg.Path, l.Fset, pkg.Files, pkg.Info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-check %s: %v", pkg.Path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	l.pkgs[abs] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NoDeterm forbids ambient nondeterminism in the deterministic hot
+// paths (internal/search, internal/sim, internal/core): wall-clock
+// reads (time.Now, time.Since, time.Until) and the global math/rand
+// source. The search clock is simulated — Record.Elapsed accumulates
+// evaluation cost, never wall time — and every random draw must come
+// from an injected internal/rng stream, or the common-random-numbers
+// guarantee (identically seeded searches are bit-identical) breaks.
+// Wall-clock reads that feed only observability (model-fit timing, the
+// obs duration fields) are legitimate and carry //lint:ignore
+// directives stating exactly that.
+var NoDeterm = &Analyzer{
+	Name:  "nodeterm",
+	Doc:   "forbid wall-clock reads and global math/rand in the deterministic search/sim/core hot paths",
+	Match: isHotPath,
+	Run:   runNoDeterm,
+}
+
+// wallClockFuncs are the time package functions that read the host
+// clock. time.Duration arithmetic and constants remain fine.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runNoDeterm(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			switch funcPkgPath(fn) {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"wall clock in deterministic hot path: time.%s perturbs nothing visible today but breaks bit-reproducibility the moment its result is used; the search clock is Record.Elapsed (use //lint:ignore nodeterm <reason> only for observability-only timing)",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(call.Pos(),
+					"global math/rand in deterministic hot path: rand.%s draws from ambient state; draw from an injected internal/rng stream instead (common random numbers, PAPER.md §IV-D)",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}

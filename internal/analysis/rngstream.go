@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// RNGStream guards the common-random-numbers contract at its source:
+// every random stream must be an injected internal/rng generator whose
+// identity depends only on (seed, name). Three rules, module-wide:
+// (1) importing math/rand (or /v2) is forbidden outright — the global
+// source and its lockstep-free streams cannot be made reproducible
+// across algorithms; (2) constructing an internal/rng generator whose
+// seed expression reads ambient process state (time.Now, os.Getpid,
+// crypto/rand) is forbidden everywhere — such a stream differs run to
+// run, so RS-versus-variant deltas stop being attributable to the
+// strategy; (3) inside internal/search no generator may be constructed
+// or re-seeded at all (rng.New, rng.NewNamed, Split, SplitNamed):
+// algorithms receive their streams as parameters, which is what lets
+// two algorithms walk identical candidate sequences.
+var RNGStream = &Analyzer{
+	Name: "rngstream",
+	Doc:  "forbid math/rand, ambient-seeded rng construction, and mid-search stream construction or re-seeding",
+	Run:  runRNGStream,
+}
+
+// ambientStateFuncs lists package-level functions whose results vary
+// run to run and therefore must never reach an rng seed.
+var ambientStateFuncs = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getpid": true, "Getppid": true},
+}
+
+func runRNGStream(pass *Pass) {
+	inSearch := isSearchPkg(pass.PkgPath)
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s: all randomness must flow through injected internal/rng streams so (seed, name) fully determines every draw", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			name := fn.Name()
+			fromRNG := strings.HasSuffix(funcPkgPath(fn), "internal/rng")
+			isConstructor := fromRNG && (name == "New" || name == "NewNamed")
+			isDerive := fromRNG && (name == "Split" || name == "SplitNamed")
+			if isConstructor && seedReadsAmbientState(pass, call) {
+				pass.Reportf(call.Pos(),
+					"rng seeded from ambient process state: the stream differs run to run, breaking common-random-numbers comparability; derive the seed from the experiment's seed and a stream name")
+				return true
+			}
+			if inSearch && (isConstructor || isDerive) {
+				pass.Reportf(call.Pos(),
+					"rng stream constructed inside internal/search: algorithms must draw from injected streams (rng.%s belongs at the experiment boundary)", name)
+			}
+			return true
+		})
+	}
+}
+
+// seedReadsAmbientState reports whether any argument of the rng
+// constructor call contains a read of run-varying process state.
+func seedReadsAmbientState(pass *Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, inner)
+			pkg := funcPkgPath(fn)
+			if names := ambientStateFuncs[pkg]; names != nil && names[fn.Name()] {
+				found = true
+			}
+			if pkg == "math/rand" || pkg == "math/rand/v2" || pkg == "crypto/rand" {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

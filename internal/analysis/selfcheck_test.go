@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsLintClean runs the full analyzer suite over the whole
+// module, exactly as cmd/repolint does: the tree must stay clean so a
+// lint failure in CI is always attributable to the change under review.
+// It doubles as the loader's integration test — every package in the
+// module must parse and type-check through the stdlib-only pipeline.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("LoadAll found only %d packages; the walk lost part of the module", len(pkgs))
+	}
+	for _, want := range []string{"repro/internal/search", "repro/internal/rng", "repro/internal/journal", "repro/cmd/repolint"} {
+		found := false
+		for _, p := range pkgs {
+			if p.Path == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("LoadAll did not load %s", want)
+		}
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Path, "testdata") || strings.HasPrefix(p.Path, "fix/") {
+			t.Errorf("LoadAll leaked a fixture package: %s", p.Path)
+		}
+	}
+	for _, d := range Lint(pkgs, All()) {
+		t.Errorf("repo is not lint-clean: %s", d.String())
+	}
+}
+
+// TestAnalyzerRegistry pins the suite's shape: the five analyzers the
+// documentation promises, each named, documented, and runnable.
+func TestAnalyzerRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	}
+	want := map[string]bool{"nodeterm": true, "ctxflow": true, "rngstream": true, "floatcmp": true, "errsink": true}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing Doc or Run", a.Name)
+		}
+		if a.Name == "lint" {
+			t.Errorf("analyzer name %q collides with the driver's pseudo-analyzer", a.Name)
+		}
+	}
+}
+
+func TestPathPredicates(t *testing.T) {
+	cases := []struct {
+		path        string
+		hot, search bool
+	}{
+		{"repro/internal/search", true, true},
+		{"repro/internal/search/sub", true, true},
+		{"repro/internal/sim", true, false},
+		{"repro/internal/core", true, false},
+		{"repro/internal/journal", false, false},
+		{"repro/cmd/autotune", false, false},
+		{"fix/rngstream/internal/search", true, true},
+		{"fix/nodeterm/internal/sim", true, false},
+	}
+	for _, c := range cases {
+		if got := isHotPath(c.path); got != c.hot {
+			t.Errorf("isHotPath(%q) = %v, want %v", c.path, got, c.hot)
+		}
+		if got := isSearchPkg(c.path); got != c.search {
+			t.Errorf("isSearchPkg(%q) = %v, want %v", c.path, got, c.search)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuppressionSemantics pins the driver's directive contract on the
+// suppress fixture: a well-formed ignore silences exactly the
+// diagnostics of its analyzer on its target line; an ignore whose
+// target line yields nothing is flagged as unused; malformed and
+// unknown-analyzer directives are findings themselves (and still do not
+// silence anything); a file-ignore exempts the whole file.
+func TestSuppressionSemantics(t *testing.T) {
+	pkg, diags := lintFixture(t, "suppress", FloatCmp)
+
+	fileNamed := func(base string) string {
+		t.Helper()
+		for _, fn := range pkg.Filenames {
+			if filepath.Base(fn) == base {
+				return fn
+			}
+		}
+		t.Fatalf("fixture file %s not loaded", base)
+		return ""
+	}
+	lineOf := func(file, substr string) int {
+		t.Helper()
+		src := pkg.Src[file]
+		idx := bytes.Index(src, []byte(substr))
+		if idx < 0 {
+			t.Fatalf("%s does not contain %q", filepath.Base(file), substr)
+		}
+		return 1 + bytes.Count(src[:idx], []byte("\n"))
+	}
+	find := func(file string, line int, analyzer, msgSub string) bool {
+		for _, d := range diags {
+			if d.Pos.Filename == file && d.Pos.Line == line &&
+				d.Analyzer == analyzer && strings.Contains(d.Message, msgSub) {
+				return true
+			}
+		}
+		return false
+	}
+
+	a := fileNamed("a.go")
+	b := fileNamed("b.go")
+
+	// Exactly-one-line silencing: the directive covers `x := a == b` and
+	// nothing else, so the very next line still fires.
+	if suppressed := lineOf(a, "x := a == b"); find(a, suppressed, "floatcmp", "") {
+		t.Errorf("a.go:%d: diagnostic survived a well-formed lint:ignore", suppressed)
+	}
+	if next := lineOf(a, "y := a != b"); !find(a, next, "floatcmp", "exact float equality") {
+		t.Errorf("a.go:%d: the line after a suppressed one lost its diagnostic", next)
+	}
+
+	// An ignore aimed at a line that produces nothing is itself flagged.
+	unusedLine := lineOf(a, "nothing on the target line to silence")
+	if !find(a, unusedLine, "lint", "unused lint:ignore directive") {
+		t.Errorf("a.go:%d: unused ignore was not flagged", unusedLine)
+	}
+
+	// A directive missing its reason is malformed, is reported, and does
+	// not suppress the diagnostic below it.
+	malformedLine := lineOf(a, "//lint:ignore floatcmp\n")
+	if !find(a, malformedLine, "lint", "malformed lint directive") {
+		t.Errorf("a.go:%d: malformed directive was not reported", malformedLine)
+	}
+	if !find(a, malformedLine+1, "floatcmp", "exact float equality") {
+		t.Errorf("a.go:%d: malformed directive suppressed a diagnostic", malformedLine+1)
+	}
+
+	// Naming a nonexistent analyzer is reported and suppresses nothing.
+	unknownLine := lineOf(a, "nosuchcheck")
+	if !find(a, unknownLine, "lint", `unknown analyzer "nosuchcheck"`) {
+		t.Errorf("a.go:%d: unknown-analyzer directive was not reported", unknownLine)
+	}
+	if !find(a, unknownLine+1, "floatcmp", "exact float equality") {
+		t.Errorf("a.go:%d: unknown-analyzer directive suppressed a diagnostic", unknownLine+1)
+	}
+
+	// The file-ignore in b.go exempts every comparison in that file.
+	for _, d := range diags {
+		if d.Pos.Filename == b {
+			t.Errorf("b.go:%d: diagnostic survived lint:file-ignore: %s: %s", d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+
+	// The full census, so nothing unexpected hides behind the targeted
+	// checks above: three surviving floatcmp findings, three directive
+	// findings.
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	if counts["floatcmp"] != 3 || counts["lint"] != 3 || len(diags) != 6 {
+		for _, d := range diags {
+			t.Logf("  %s", d.String())
+		}
+		t.Errorf("diagnostic census = %v (total %d), want floatcmp:3 lint:3", counts, len(diags))
+	}
+}
+
+// TestSuppressionUnusedRespectsMatch: an ignore for a path-scoped
+// analyzer in a package that analyzer never runs over must not be
+// flagged as unused — there was no check to be unused against.
+func TestSuppressionUnusedRespectsMatch(t *testing.T) {
+	// The nodeterm fixture's ignores sit in a hot-path package, so when
+	// nodeterm runs they are used; running only floatcmp over the same
+	// package must not flag them either (their analyzer did not run).
+	_, diags := lintFixture(t, "nodeterm/internal/sim", FloatCmp)
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d.String())
+	}
+}

@@ -1,0 +1,29 @@
+// Package ctxflow is a fixture for the ctxflow analyzer: re-rooted
+// contexts in ctx-receiving functions, Background/TODO outside package
+// main, and a suppressed legacy bridge.
+package ctxflow
+
+import "context"
+
+func threaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+func reroots(ctx context.Context) error {
+	return work(context.Background()) // want "ctxflow: reroots receives a context.Context but calls context.Background"
+}
+
+func helper() error {
+	ctx := context.TODO() // want "ctxflow: context.TODO outside package main"
+	return work(ctx)
+}
+
+func bridge() error {
+	//lint:ignore ctxflow fixture: legacy interface bridge with no ctx to thread
+	return work(context.Background())
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return nil
+}

@@ -1,0 +1,22 @@
+// Command ctxflowmain is a ctxflow fixture: package main owns the root
+// context, so context.Background in a function without a ctx parameter
+// is allowed — but a function that already receives a ctx must still
+// thread it.
+package main
+
+import "context"
+
+func main() {
+	if err := run(context.Background()); err != nil {
+		panic(err)
+	}
+}
+
+func relaunch(ctx context.Context) error {
+	return run(context.Background()) // want "ctxflow: relaunch receives a context.Context but calls context.Background"
+}
+
+func run(ctx context.Context) error {
+	<-ctx.Done()
+	return relaunch(ctx)
+}

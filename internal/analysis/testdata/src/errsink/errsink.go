@@ -1,0 +1,35 @@
+// Package errsink is a fixture for the errsink analyzer: discarded
+// durability errors in plain, deferred, and go statements; explicit
+// discards and handled errors stay clean.
+package errsink
+
+type file struct{}
+
+func (file) Close() error { return nil }
+func (file) Sync() error  { return nil }
+
+type quiet struct{}
+
+func (quiet) Close() {}
+
+func leaks(f file) {
+	f.Close()      // want "errsink: discarded error from file.Close"
+	defer f.Sync() // want "errsink: deferred and discarded error from file.Sync"
+	go f.Close()   // want "errsink: discarded in goroutine error from file.Close"
+}
+
+func explicit(f file) {
+	_ = f.Close()
+}
+
+func handled(f file) error {
+	return f.Close()
+}
+
+func errorless(q quiet) {
+	q.Close()
+}
+
+func excused(f file) {
+	f.Close() //lint:ignore errsink fixture: demonstrating a reasoned suppression
+}

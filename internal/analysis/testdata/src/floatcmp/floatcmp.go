@@ -1,0 +1,47 @@
+// Package floatcmp is a fixture for the floatcmp analyzer: computed
+// equality, non-integral constants, math.NaN comparisons, sort
+// comparators, and the allowed integral-sentinel idiom.
+package floatcmp
+
+import (
+	"math"
+	"sort"
+)
+
+func computedEquality(a, b float64) bool {
+	return a == b // want "floatcmp: exact float equality on computed values"
+}
+
+func computedInequality(a, b float64) bool {
+	return a+1 != b*2 // want "floatcmp: exact float equality on computed values"
+}
+
+func sentinel(total float64) bool {
+	return total == 0
+}
+
+func nonIntegral(x float64) bool {
+	return x == 0.3 // want "floatcmp: exact equality against non-integral float constant"
+}
+
+func nanEquality(x float64) bool {
+	return x == math.NaN() // want "floatcmp: comparison with math.NaN"
+}
+
+func unguardedSort(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "floatcmp: float ordering in a sort comparator"
+}
+
+func guardedSort(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool {
+		if math.IsNaN(xs[j]) {
+			return !math.IsNaN(xs[i])
+		}
+		return xs[i] < xs[j]
+	})
+}
+
+func exactTie(a, b float64) bool {
+	//lint:ignore floatcmp fixture: exact ties are the property under test
+	return a == b
+}

@@ -1,0 +1,25 @@
+// Package sim is a nodeterm fixture: its synthesized import path
+// ("fix/nodeterm/internal/sim") ends in internal/sim, so the analyzer's
+// hot-path Match applies without any test-side special-casing.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func hotLoop() float64 {
+	t0 := time.Now()      // want "nodeterm: wall clock in deterministic hot path: time.Now"
+	_ = time.Since(t0)    // want "nodeterm: wall clock in deterministic hot path: time.Since"
+	return rand.Float64() // want "nodeterm: global math/rand in deterministic hot path: rand.Float64"
+}
+
+func observed() time.Duration {
+	t0 := time.Now()    //lint:ignore nodeterm fixture: observability-only timing
+	d := time.Since(t0) //lint:ignore nodeterm fixture: observability-only timing
+	return d
+}
+
+func clean(d time.Duration) time.Duration {
+	return 2*d + time.Second
+}

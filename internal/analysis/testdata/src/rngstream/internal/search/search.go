@@ -1,0 +1,17 @@
+// Package search is a rngstream fixture whose synthesized import path
+// ("fix/rngstream/internal/search") ends in internal/search: the
+// mid-search construction rule applies, so algorithms here may only
+// draw from injected streams.
+package search
+
+import "repro/internal/rng"
+
+func anneal(r *rng.RNG) float64 {
+	local := rng.New(42) // want "rngstream: rng stream constructed inside internal/search"
+	reheat := r.Split()  // want "rngstream: rng stream constructed inside internal/search"
+	return local.Float64() + reheat.Float64() + r.Float64()
+}
+
+func injectedOnly(r *rng.RNG) float64 {
+	return r.Float64()
+}

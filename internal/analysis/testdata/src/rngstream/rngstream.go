@@ -1,0 +1,28 @@
+// Package rngstream is a fixture for the rngstream analyzer's
+// module-wide rules: the math/rand import ban and ambient-state seeding
+// of internal/rng streams.
+package rngstream
+
+import (
+	"math/rand" // want "rngstream: import of math/rand"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func ambientSeed() *rng.RNG {
+	return rng.New(uint64(time.Now().UnixNano())) // want "rngstream: rng seeded from ambient process state"
+}
+
+func injected(seed uint64) *rng.RNG {
+	return rng.NewNamed(seed, "fixture")
+}
+
+func legacyDraw() float64 {
+	return rand.Float64()
+}
+
+func pinned() *rng.RNG {
+	//lint:ignore rngstream fixture: demonstrating a reasoned suppression
+	return rng.New(uint64(time.Now().UnixNano()))
+}

@@ -1,0 +1,26 @@
+// Package suppress is the fixture for the suppression machinery
+// itself: exactly-one-line silencing, unused ignores, malformed and
+// unknown-analyzer directives. The whole-file form lives in b.go.
+package suppress
+
+func pair(a, b float64) (bool, bool) {
+	//lint:ignore floatcmp fixture: silences exactly the next line
+	x := a == b
+	y := a != b
+	return x, y
+}
+
+func stale(a, b int) bool {
+	//lint:ignore floatcmp fixture: nothing on the target line to silence
+	return a == b
+}
+
+func missingReason(a, b float64) bool {
+	//lint:ignore floatcmp
+	return a == b
+}
+
+func unknownAnalyzer(a, b float64) bool {
+	//lint:ignore nosuchcheck fixture: the analyzer name does not exist
+	return a == b
+}

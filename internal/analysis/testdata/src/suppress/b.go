@@ -1,0 +1,12 @@
+//lint:file-ignore floatcmp fixture: the whole file demonstrates exempted comparisons
+
+// Package documentation lives in a.go.
+package suppress
+
+func wholeFile(a, b float64) bool {
+	return a == b
+}
+
+func wholeFileToo(a, b float64) bool {
+	return a != b
+}

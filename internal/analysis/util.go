@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves the function or method a call invokes, nil when
+// the callee is not a named function (conversions, func-typed values,
+// builtins).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function
+// pkgPath.name (methods never match).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath
+}
+
+// funcPkgPath returns the import path of the package fn belongs to, ""
+// for builtins and nil.
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isFloat reports whether t's underlying type is float32 or float64.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// lastResultIsError reports whether fn's final result is of type error.
+func lastResultIsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	n, ok := last.(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// isHotPath reports whether pkgPath is one of the deterministic search
+// hot paths the paper's common-random-numbers methodology depends on.
+// Fixture packages mirror the layout under fix/ so analyzer scoping is
+// testable.
+func isHotPath(pkgPath string) bool {
+	for _, frag := range []string{"internal/search", "internal/sim", "internal/core"} {
+		if strings.Contains(pkgPath, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSearchPkg reports whether pkgPath is the search-algorithm package,
+// where rng streams must be injected, never constructed.
+func isSearchPkg(pkgPath string) bool {
+	return strings.Contains(pkgPath, "internal/search")
+}

@@ -69,6 +69,7 @@ func (m *KNNModel) Predict(x []float64) float64 {
 		}
 		ds[i] = nd{d: d, y: m.Y[i]}
 	}
+	//lint:ignore floatcmp distances are sums of squares of finite encoded features; no NaN can enter
 	sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
 	sum := 0.0
 	for i := 0; i < m.K; i++ {

@@ -131,6 +131,7 @@ func (t *Tree) bestSplit(X [][]float64, y []float64, idx []int, p TreeParams, r 
 	order := make([]int, len(idx))
 	for _, f := range candidates {
 		copy(order, idx)
+		//lint:ignore floatcmp encoded feature values are finite by construction (space.Encode yields finite floats)
 		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
 
 		vals = vals[:0]
@@ -152,6 +153,7 @@ func (t *Tree) bestSplit(X [][]float64, y []float64, idx []int, p TreeParams, r 
 			sumL += v
 			sqL += v * v
 			// Cannot split between identical feature values.
+			//lint:ignore floatcmp exact tie detection: a split threshold between bit-identical feature values would send equal inputs to different children
 			if X[order[i]][f] == X[order[i+1]][f] {
 				continue
 			}

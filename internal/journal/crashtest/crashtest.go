@@ -17,6 +17,9 @@
 //
 // The in-process SIGKILL trial lives in the package's tests (it re-execs
 // the test binary).
+
+//lint:file-ignore ctxflow crash-recovery harness: each trial deliberately roots its own context to model independent process lifetimes
+//lint:file-ignore floatcmp resume correctness is defined as bit-identical results, so exact float equality is the property under test
 package crashtest
 
 import (

@@ -64,12 +64,12 @@ func openLog(path string) (*logFile, [][]byte, error) {
 	}
 	payloads, good, err := scanFrames(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	fi, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	if fi.Size() > good {
@@ -77,16 +77,16 @@ func openLog(path string) (*logFile, [][]byte, error) {
 		// evaluation it described was never acknowledged, so the resumed
 		// search will simply redo it.
 		if err := f.Truncate(good); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, nil, err
 		}
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	return &logFile{f: f}, payloads, nil
@@ -157,11 +157,11 @@ func writeFileAtomic(path string, data []byte) error {
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -178,7 +178,8 @@ func syncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
+	// Read-only directory handle: nothing buffered can be lost on close.
+	defer func() { _ = d.Close() }()
 	// Some filesystems reject fsync on directories; the rename is still
 	// atomic there, just not durability-ordered, which is the best
 	// available.

@@ -158,7 +158,7 @@ func Create(dir string, meta Meta) (*Session, error) {
 		return nil, err
 	}
 	if len(payloads) > 0 {
-		log.Close()
+		_ = log.Close()
 		return nil, fmt.Errorf("journal: %s has log entries but no meta; refusing to adopt them", dir)
 	}
 	return &Session{dir: dir, log: log, meta: meta}, nil
@@ -195,11 +195,11 @@ func Open(dir string) (*Session, error) {
 	for i, p := range payloads {
 		var e Entry
 		if err := json.Unmarshal(p, &e); err != nil {
-			log.Close()
+			_ = log.Close()
 			return nil, fmt.Errorf("journal: corrupt entry %d in %s: %w", i, dir, err)
 		}
 		if e.Index != i {
-			log.Close()
+			_ = log.Close()
 			return nil, fmt.Errorf("journal: entry %d in %s carries index %d", i, dir, e.Index)
 		}
 		s.entries = append(s.entries, e)

@@ -82,6 +82,7 @@ func (w *Recorder) Space() *space.Space { return w.p.Space() }
 // Evaluate implements search.Problem for consumers outside the context
 // path.
 func (w *Recorder) Evaluate(c space.Config) (float64, float64) {
+	//lint:ignore ctxflow legacy Problem bridge: the interface has no ctx to thread; the context path is EvaluateFull
 	out := w.EvaluateFull(context.Background(), c)
 	return out.RunTime, out.Cost
 }
@@ -191,13 +192,19 @@ type RunInfo struct {
 // interruption the partial result is returned with info.Done=false and a
 // final checkpoint is left so the journal is immediately resumable.
 func Run(ctx context.Context, dir string, meta Meta, p search.Problem, opts WrapOptions,
-	drive func(ctx context.Context, p search.Problem) *search.Result) (*search.Result, *RunInfo, error) {
+	drive func(ctx context.Context, p search.Problem) *search.Result) (res *search.Result, info *RunInfo, err error) {
 
 	s, info, err := openOrCreate(dir, meta)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer s.Close()
+	// A close failure after a clean run still means the journal's final
+	// state may not be durable; surface it rather than dropping it.
+	defer func() {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("journal: closing session: %w", cerr)
+		}
+	}()
 	if s.Done() {
 		res, err := s.result()
 		if err != nil {
@@ -210,7 +217,7 @@ func Run(ctx context.Context, dir string, meta Meta, p search.Problem, opts Wrap
 	if err != nil {
 		return nil, nil, err
 	}
-	res := drive(ctx, w)
+	res = drive(ctx, w)
 	return finalize(ctx, s, w, res, info)
 }
 
@@ -221,14 +228,18 @@ func Run(ctx context.Context, dir string, meta Meta, p search.Problem, opts Wrap
 // Either way the result is byte-identical to an uninterrupted
 // search.RS(ctx, p, nmax, rng.New(seed)).
 func RunRS(ctx context.Context, dir string, p search.Problem, nmax int, seed uint64,
-	extra map[string]string, opts WrapOptions) (*search.Result, *RunInfo, error) {
+	extra map[string]string, opts WrapOptions) (res *search.Result, info *RunInfo, err error) {
 
 	meta := Meta{Problem: p.Name(), Algorithm: "RS", Seed: seed, NMax: nmax, Extra: extra}
 	s, info, err := openOrCreate(dir, meta)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer s.Close()
+	defer func() {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("journal: closing session: %w", cerr)
+		}
+	}()
 	if s.Done() {
 		res, err := s.result()
 		if err != nil {
@@ -277,7 +288,7 @@ func RunRS(ctx context.Context, dir string, p search.Problem, nmax int, seed uin
 	if err != nil {
 		return nil, nil, err
 	}
-	res := search.RS(ctx, w, nmax, r)
+	res = search.RS(ctx, w, nmax, r)
 	return finalize(ctx, s, w, res, info)
 }
 
@@ -301,7 +312,9 @@ func openOrCreate(dir string, meta Meta) (*Session, *RunInfo, error) {
 			return nil, nil, err
 		}
 		if err := s.Meta().Check(meta); err != nil {
-			s.Close()
+			// The meta mismatch is the actionable error; the handle was
+			// only ever read.
+			_ = s.Close()
 			return nil, nil, err
 		}
 		return s, &RunInfo{Resumed: true, Prior: s.Len()}, nil

@@ -187,6 +187,7 @@ func (r *Resilient) Space() *space.Space { return r.P.Space() }
 // Evaluate implements Problem for consumers that predate the failure
 // path: failed evaluations surface as a +Inf run time.
 func (r *Resilient) Evaluate(c space.Config) (runTime, cost float64) {
+	//lint:ignore ctxflow legacy Problem bridge: the interface has no ctx to thread; the context path is EvaluateFull
 	out := r.EvaluateFull(context.Background(), c)
 	return out.RunTime, out.Cost
 }

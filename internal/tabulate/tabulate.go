@@ -114,9 +114,11 @@ func Scatter(title, xlabel, ylabel string, xs, ys []float64, width, height int) 
 	}
 	xmin, xmax := minMax(xs)
 	ymin, ymax := minMax(ys)
+	//lint:ignore floatcmp degenerate-range guard: exact equality is the zero-width case being handled
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
+	//lint:ignore floatcmp degenerate-range guard: exact equality is the zero-width case being handled
 	if ymax == ymin {
 		ymax = ymin + 1
 	}
@@ -177,6 +179,7 @@ func LinesX(title, xlabel string, names []string, series [][]float64, width, hei
 	if maxLen == 0 {
 		return title + ": (no data)\n"
 	}
+	//lint:ignore floatcmp degenerate-range guard: exact equality is the zero-width case being handled
 	if ymax == ymin {
 		ymax = ymin + 1
 	}
