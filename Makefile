@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race lint crashtest trace-smoke
+.PHONY: check build vet test race lint crashtest trace-smoke bench-parallel
 
 # check is the full local CI gate: build everything, run the static
 # analyzers, and run the test suite under the race detector.
@@ -31,6 +31,12 @@ race:
 # child, and the SIGINT end-to-end trial of cmd/autotune.
 crashtest:
 	$(GO) test -v -count=1 ./internal/journal/... ./cmd/autotune/ -run 'Trunc|Cancel|SIGKILL|SIGINT|Resume'
+
+# bench-parallel times one cell-grid experiment serially and with one
+# worker per CPU (the reports are bit-identical either way; only wall
+# time differs). Output lands in bench-parallel.txt (CI uploads it).
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkExperimentCell' -benchtime 2x . | tee bench-parallel.txt
 
 # trace-smoke runs a small traced, faulted, journaled search and checks
 # that tracestat can parse and summarize the trace. The trace lands in

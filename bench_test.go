@@ -13,6 +13,7 @@ package autotune
 
 import (
 	"context"
+	"runtime"
 
 	"testing"
 
@@ -278,6 +279,33 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution engine benchmark: the same cell-grid experiment run
+// serially (workers=1) and with one worker per CPU. Every cell derives
+// its randomness from its own seed, so both runs produce bit-identical
+// reports (asserted by TestParallelMatchesSerial); the delta measured
+// here is pure wall time. `make bench-parallel` runs this pair.
+
+func BenchmarkExperimentCell(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := benchConfig(2016)
+			cfg.Workers = c.workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run(context.Background(), "table4", cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -5,7 +5,7 @@
 //
 //	autotune -problem LU -machine Sandybridge [-compiler gnu-4.4.7]
 //	         [-threads 1] [-algo rs|sa|ga|ps|ensemble] [-nmax 100] [-seed 42]
-//	         [-faults 0.3] [-retries 2] [-timeout 30]
+//	         [-faults 0.3] [-retries 2] [-timeout 30] [-workers N]
 //	         [-journal DIR] [-resume DIR] [-throttle 50ms]
 //	         [-trace FILE] [-progress] [-metrics]
 //	         [-cpuprofile FILE] [-memprofile FILE]
@@ -36,6 +36,13 @@
 // uninterrupted run would have produced. -throttle D pauses D of wall
 // time per evaluation — it changes nothing about the result, only makes
 // fast simulated runs interruptible (demos, tests).
+//
+// -workers N caps the OS threads the Go runtime schedules goroutines on
+// (GOMAXPROCS; 0 keeps the runtime default). The search algorithms
+// evaluate configurations strictly in sequence — parallelism never
+// reorders evaluations or redistributes random streams — so -workers
+// changes wall time only and composes with -journal/-resume: a journal
+// written under one worker count resumes bit-exactly under any other.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 bad usage (unknown
 // problem, machine, compiler, or algorithm; mismatched resume), 3
@@ -104,6 +111,7 @@ func run() int {
 		journalDir = flag.String("journal", "", "crash-safe journal directory (created or resumed)")
 		resumeDir  = flag.String("resume", "", "resume an interrupted run from its journal directory")
 		throttle   = flag.Duration("throttle", 0, "wall-clock pause per evaluation (makes simulated runs interruptible)")
+		workers    = flag.Int("workers", 0, "cap on OS threads for goroutine scheduling (0 = runtime default; results identical for any value)")
 		verbose    = flag.Bool("v", false, "print every evaluation")
 		emit       = flag.Bool("emit", false, "print the best variant as C code (kernel problems)")
 		traceFile  = flag.String("trace", "", "write a JSONL event trace to FILE (read with cmd/tracestat)")
@@ -149,6 +157,16 @@ func run() int {
 	if *faultRate < 0 || *faultRate >= 1 {
 		warnf("-faults must be in [0,1), got %v", *faultRate)
 		return exitUsage
+	}
+	if *workers < 0 {
+		warnf("-workers must be >= 0, got %d", *workers)
+		return exitUsage
+	}
+	if *workers > 0 {
+		// Scheduling-only: evaluation order and random streams are fixed by
+		// the algorithms themselves, so this never changes a result (and is
+		// therefore not pinned into the journal meta).
+		runtime.GOMAXPROCS(*workers)
 	}
 
 	p, err := buildProblem(*problem, *annotation, *machineN, *compilerN, *threads)

@@ -206,3 +206,39 @@ func TestResumeRefusesMismatchedSettings(t *testing.T) {
 		t.Fatalf("resume of missing journal exited %d, want %d", code, exitUsage)
 	}
 }
+
+// TestWorkersComposeWithJournaledResume: -workers only caps goroutine
+// scheduling, so a journaled run under one worker count and a resume (or
+// plain rerun) under another must agree on every result line.
+func TestWorkersComposeWithJournaledResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec trial skipped in -short mode")
+	}
+	jdir := filepath.Join(t.TempDir(), "journal")
+	runFlags := []string{"-problem", "ATAX", "-algo", "sa", "-nmax", "30", "-seed", "11"}
+
+	wide, wideOut := autotuneCmd(append(runFlags, "-journal", jdir, "-workers", "8")...)
+	if code := exitCode(t, wide.Run()); code != exitOK {
+		t.Fatalf("workers=8 journaled run exited %d; output:\n%s", code, wideOut)
+	}
+	narrow, narrowOut := autotuneCmd(append(runFlags, "-workers", "1")...)
+	if code := exitCode(t, narrow.Run()); code != exitOK {
+		t.Fatalf("workers=1 run exited %d; output:\n%s", code, narrowOut)
+	}
+	resume, resumeOut := autotuneCmd("-resume", jdir, "-workers", "2")
+	if code := exitCode(t, resume.Run()); code != exitOK {
+		t.Fatalf("resume under workers=2 exited %d; output:\n%s", code, resumeOut)
+	}
+	for _, prefix := range []string{"best config:", "best run:", "search time:"} {
+		want := grepLine(narrowOut.String(), prefix)
+		if want == "" {
+			t.Fatalf("workers=1 output missing %q line:\n%s", prefix, narrowOut)
+		}
+		if got := grepLine(wideOut.String(), prefix); got != want {
+			t.Fatalf("workers=8 %q line differs:\n  workers=8: %s\n  workers=1: %s", prefix, got, want)
+		}
+		if got := grepLine(resumeOut.String(), prefix); got != want {
+			t.Fatalf("resumed %q line differs:\n  resumed:   %s\n  workers=1: %s", prefix, got, want)
+		}
+	}
+}

@@ -54,7 +54,9 @@ func FitKNN(ta search.Dataset, spc *space.Space, k int) (*KNNModel, error) {
 	return &KNNModel{X: X, Y: y, K: k, scale: scale}, nil
 }
 
-// Predict implements search.Model.
+// Predict implements search.Model. The distance scratch is allocated
+// per call and the fitted fields are never written after FitKNN, so
+// Predict is safe for concurrent use.
 func (m *KNNModel) Predict(x []float64) float64 {
 	type nd struct {
 		d float64
@@ -157,7 +159,8 @@ func solve(A [][]float64, b []float64) ([]float64, error) {
 	return x, nil
 }
 
-// Predict implements search.Model.
+// Predict implements search.Model. It only reads the fitted weights, so
+// it is safe for concurrent use.
 func (m *LinearModel) Predict(x []float64) float64 {
 	v := m.w[0]
 	for i, xi := range x {

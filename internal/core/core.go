@@ -47,8 +47,14 @@ type Surrogate struct {
 	Source string
 }
 
-// Predict implements search.Model.
+// Predict implements search.Model. Like the forest it wraps, a fitted
+// Surrogate is immutable and safe for concurrent prediction.
 func (s *Surrogate) Predict(x []float64) float64 { return s.Forest.Predict(x) }
+
+// PredictAll implements search.BatchModel by forwarding to the forest's
+// sharded batch path, so the pool-scoring loops of RSp/RSb/RSbA engage
+// worker-parallel prediction through the surrogate wrapper too.
+func (s *Surrogate) PredictAll(X [][]float64) []float64 { return s.Forest.PredictAll(X) }
 
 // FitSurrogate trains the random-forest surrogate M_a on T_a. Failed and
 // non-finite rows are dropped first; censored rows are kept (the cap is
@@ -132,9 +138,9 @@ func (o Options) withDefaults() Options {
 	if o.PoolSize <= 0 {
 		o.PoolSize = 10000
 	}
-	if o.DeltaPct <= 0 || o.DeltaPct >= 100 {
-		o.DeltaPct = 20
-	}
+	// Shared validation with RSp/RSpf: rejects NaN and out-of-range
+	// values, not just negatives (Run warns when a value was replaced).
+	o.DeltaPct, _ = search.NormalizeDeltaPct(o.DeltaPct)
 	return o
 }
 
@@ -184,6 +190,11 @@ type Outcome struct {
 // partial outcome is still internally consistent, but callers should
 // treat it as incomplete (check ctx.Err after Run returns).
 func Run(ctx context.Context, src, tgt search.Problem, opt Options) (*Outcome, error) {
+	origDelta := opt.DeltaPct
+	if _, adjusted := search.NormalizeDeltaPct(origDelta); adjusted {
+		obs.FromContext(ctx).Warn("core.Run",
+			fmt.Sprintf("DeltaPct %g outside (0,100); using default %g", origDelta, float64(search.DefaultDeltaPct)))
+	}
 	opt = opt.withDefaults()
 	if src.Space().NumParams() != tgt.Space().NumParams() {
 		return nil, fmt.Errorf("core: source and target must share the configuration space (paper assumption D(α) fixed)")

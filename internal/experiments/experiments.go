@@ -47,6 +47,11 @@ type Config struct {
 	Trees int
 	// CorrelationSamples is the sample count for fig1 (paper: 200).
 	CorrelationSamples int
+	// Workers bounds how many experiment cells run concurrently (<= 0:
+	// one per CPU). Reports are workers-invariant — every cell draws from
+	// rng streams derived from its own seed, so parallel output is
+	// bit-identical to serial output (asserted by TestParallelMatchesSerial).
+	Workers int
 }
 
 // WithDefaults fills unset fields with the paper's settings.
@@ -186,7 +191,7 @@ func transferOpts(cfg Config) core.Options {
 		NMax:     cfg.NMax,
 		PoolSize: cfg.PoolSize,
 		DeltaPct: cfg.DeltaPct,
-		Forest:   forest.Params{Trees: cfg.Trees},
+		Forest:   forest.Params{Trees: cfg.Trees, Workers: cfg.Workers},
 		Seed:     cfg.Seed,
 	}
 }

@@ -35,25 +35,32 @@ func init() {
 // "we will also investigate whether the proposed approach can be
 // generalized for different input sizes".
 func runExtInputSize(ctx context.Context, cfg Config) (*Report, error) {
-	srcKernel := kernels.MM(2000)
-	srcProb := kernels.NewProblem(srcKernel,
-		sim.Target{Machine: machine.Westmere, Compiler: machine.GNU, Threads: 1})
-
 	tb := tabulate.NewTable("MM: Westmere @2000 -> Sandybridge @N",
 		"Target N", "Pearson", "Spearman", "RSb Prf", "RSb Srh")
 	values := map[string]float64{}
 	var b strings.Builder
 
-	for _, n := range []int{1000, 1500, 2000, 3000} {
-		tgtKernel := kernels.MM(n)
-		tgtProb := kernels.NewProblem(tgtKernel,
+	// One cell per target input size; each cell builds its own problem
+	// instances (the source is always the 2000x2000 problem).
+	sizes := []int{1000, 1500, 2000, 3000}
+	outs := make([]*core.Outcome, len(sizes))
+	err := runCells(ctx, cfg, "ext-inputsize-cells", len(sizes), func(ctx context.Context, i int) error {
+		n := sizes[i]
+		srcProb := kernels.NewProblem(kernels.MM(2000),
+			sim.Target{Machine: machine.Westmere, Compiler: machine.GNU, Threads: 1})
+		tgtProb := kernels.NewProblem(kernels.MM(n),
 			sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
 		opts := transferOpts(cfg)
 		opts.Seed = cfg.Seed ^ rng.Hash64(fmt.Sprintf("ext-size-%d", n))
-		out, err := core.Run(ctx, srcProb, tgtProb, opts)
-		if err != nil {
-			return nil, err
-		}
+		var err error
+		outs[i], err = core.Run(ctx, srcProb, tgtProb, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		out := outs[i]
 		sp := out.Speedups["RSb"]
 		tb.AddRow(fmt.Sprintf("%d", n), tabulate.F(out.Pearson), tabulate.F(out.Spearman),
 			tabulate.F(sp.Performance), tabulate.F(sp.SearchTime))
@@ -79,7 +86,6 @@ func runExtAlgos(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	src := kernels.NewProblem(lu, sim.Target{Machine: machine.Westmere, Compiler: machine.GNU, Threads: 1})
-	tgt := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
 
 	seed := cfg.Seed ^ rng.Hash64("ext-algos")
 	_, ta := core.Collect(ctx, src, cfg.NMax, rng.NewNamed(seed, "collect"))
@@ -90,62 +96,89 @@ func runExtAlgos(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	// The surrogate's predicted-best pool configuration warm-starts the
-	// sophisticated searches.
+	// sophisticated searches. Scoring the pool goes through the batched
+	// (sharded) prediction path.
 	pool := lu.Space().SamplePool(cfg.PoolSize, rng.NewNamed(seed, "pool"))
+	X := make([][]float64, len(pool))
+	for i, c := range pool {
+		X[i] = lu.Space().Encode(c)
+	}
+	preds := sur.PredictAll(X)
 	warm := pool[0]
-	best := sur.Predict(lu.Space().Encode(warm))
-	for _, c := range pool[1:] {
-		if p := sur.Predict(lu.Space().Encode(c)); p < best {
-			best, warm = p, c
+	best := preds[0]
+	for i, p := range preds[1:] {
+		if p < best {
+			best, warm = p, pool[i+1]
 		}
 	}
 
-	runs := []struct {
-		name string
-		res  *search.Result
-	}{}
-	add := func(name string, res *search.Result) {
-		runs = append(runs, struct {
-			name string
-			res  *search.Result
-		}{name, res})
+	// One cell per algorithm. The cells share the read-only surrogate,
+	// space, and source dataset (Model implementations are goroutine-safe
+	// for Predict; see search.Model), but each builds its own target
+	// problem and rng streams, so runs are independent and their results
+	// identical to the serial ones.
+	newTgt := func() search.Problem {
+		return kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
 	}
-
-	add("RS", search.RS(ctx, tgt, cfg.NMax, rng.NewNamed(seed, "rs")))
-	add("RSb", search.RSb(ctx, tgt, sur, search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize},
-		rng.NewNamed(seed, "pool")))
-	add("SA", search.Drive(ctx, tgt, search.NewAnneal(lu.Space(), rng.NewNamed(seed, "sa"), 0.95), cfg.NMax))
-	warmSA := search.NewAnneal(lu.Space(), rng.NewNamed(seed, "sa+model"), 0.95)
-	warmSA.SetStart(warm)
-	add("SA+model", search.Drive(ctx, tgt, warmSA, cfg.NMax))
-	add("GA", search.Drive(ctx, tgt, search.NewGenetic(lu.Space(), rng.NewNamed(seed, "ga"), 16, 0.15), cfg.NMax))
-	add("PS", search.Drive(ctx, tgt, search.NewPattern(lu.Space(), rng.NewNamed(seed, "ps"), 4), cfg.NMax))
-	// Active learning: RSb that refits the surrogate on source+target
-	// observations every 10 evaluations.
 	refit := func(d search.Dataset) (search.Model, error) {
 		return core.FitSurrogate(d, lu.Space(), "refit", transferOpts(cfg).Forest,
 			rng.NewNamed(seed, "refit"))
 	}
-	rsba, err := search.RSbA(ctx, tgt, sur, ta,
-		search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize}, 10, refit,
-		rng.NewNamed(seed, "pool"))
-	if err != nil {
+	algos := []struct {
+		name string
+		run  func(ctx context.Context, tgt search.Problem) (*search.Result, error)
+	}{
+		{"RS", func(ctx context.Context, tgt search.Problem) (*search.Result, error) {
+			return search.RS(ctx, tgt, cfg.NMax, rng.NewNamed(seed, "rs")), nil
+		}},
+		{"RSb", func(ctx context.Context, tgt search.Problem) (*search.Result, error) {
+			return search.RSb(ctx, tgt, sur, search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize},
+				rng.NewNamed(seed, "pool")), nil
+		}},
+		{"SA", func(ctx context.Context, tgt search.Problem) (*search.Result, error) {
+			return search.Drive(ctx, tgt, search.NewAnneal(lu.Space(), rng.NewNamed(seed, "sa"), 0.95), cfg.NMax), nil
+		}},
+		{"SA+model", func(ctx context.Context, tgt search.Problem) (*search.Result, error) {
+			warmSA := search.NewAnneal(lu.Space(), rng.NewNamed(seed, "sa+model"), 0.95)
+			warmSA.SetStart(warm)
+			return search.Drive(ctx, tgt, warmSA, cfg.NMax), nil
+		}},
+		{"GA", func(ctx context.Context, tgt search.Problem) (*search.Result, error) {
+			return search.Drive(ctx, tgt, search.NewGenetic(lu.Space(), rng.NewNamed(seed, "ga"), 16, 0.15), cfg.NMax), nil
+		}},
+		{"PS", func(ctx context.Context, tgt search.Problem) (*search.Result, error) {
+			return search.Drive(ctx, tgt, search.NewPattern(lu.Space(), rng.NewNamed(seed, "ps"), 4), cfg.NMax), nil
+		}},
+		// Active learning: RSb that refits the surrogate on source+target
+		// observations every 10 evaluations.
+		{"RSb+refit", func(ctx context.Context, tgt search.Problem) (*search.Result, error) {
+			return search.RSbA(ctx, tgt, sur, ta,
+				search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize}, 10, refit,
+				rng.NewNamed(seed, "pool"))
+		}},
+	}
+	results := make([]*search.Result, len(algos))
+	if err := runCells(ctx, cfg, "ext-algos-cells", len(algos), func(ctx context.Context, i int) error {
+		res, err := algos[i].run(ctx, newTgt())
+		results[i] = res
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	add("RSb+refit", rsba)
 
 	tb := tabulate.NewTable("LU on Sandybridge (Westmere surrogate), equal budgets",
 		"Algorithm", "Best run [s]", "Search time [s]", "Found at eval")
 	values := map[string]float64{}
-	for _, r := range runs {
-		bst, idx, ok := r.res.Best()
+	for i, a := range algos {
+		res := results[i]
+		bst, idx, ok := res.Best()
 		if !ok {
 			continue
 		}
-		tb.AddRow(r.name, fmt.Sprintf("%.4f", bst.RunTime),
-			fmt.Sprintf("%.1f", r.res.Records[idx].Elapsed), fmt.Sprintf("%d", idx+1))
-		values[r.name+"/best"] = bst.RunTime
-		values[r.name+"/time"] = r.res.Records[idx].Elapsed
+		tb.AddRow(a.name, fmt.Sprintf("%.4f", bst.RunTime),
+			fmt.Sprintf("%.1f", res.Records[idx].Elapsed), fmt.Sprintf("%d", idx+1))
+		values[a.name+"/best"] = bst.RunTime
+		values[a.name+"/time"] = res.Records[idx].Elapsed
 	}
 	text := tb.String() + "\nSA+model warm-starts simulated annealing at the surrogate's\n" +
 		"predicted-best configuration, and RSb+refit refits the surrogate on\n" +
@@ -171,15 +204,27 @@ func runExtSurrogates(ctx context.Context, cfg Config) (*Report, error) {
 	tb := tabulate.NewTable("Surrogate families guiding RSb on LU Westmere -> Sandybridge",
 		"Family", "RSb best [s]", "Prf.Imp", "Srh.Imp")
 	values := map[string]float64{}
-	for _, fam := range []core.SurrogateFamily{
+	// One cell per surrogate family: each fits its own model and runs its
+	// own RSb against a private target problem instance; the shared RS
+	// baseline and training dataset are read-only.
+	families := []core.SurrogateFamily{
 		core.FamilyForest, core.FamilyTree, core.FamilyKNN, core.FamilyLinear,
-	} {
-		m, err := core.FitFamily(fam, ta, lu.Space(), seed)
+	}
+	famResults := make([]*search.Result, len(families))
+	if err := runCells(ctx, cfg, "ext-surrogates-cells", len(families), func(ctx context.Context, i int) error {
+		m, err := core.FitFamily(families[i], ta, lu.Space(), seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res := search.RSb(ctx, tgt, m, search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize},
+		cellTgt := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
+		famResults[i] = search.RSb(ctx, cellTgt, m, search.RSbOptions{NMax: cfg.NMax, PoolSize: cfg.PoolSize},
 			rng.NewNamed(seed, "pool"))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, fam := range families {
+		res := famResults[i]
 		sp := core.ComputeSpeedups(rs, res)
 		bst, _, _ := res.Best()
 		tb.AddRow(string(fam), fmt.Sprintf("%.4f", bst.RunTime),
@@ -199,9 +244,6 @@ func runExtReplicates(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	src := kernels.NewProblem(lu, sim.Target{Machine: machine.Westmere, Compiler: machine.GNU, Threads: 1})
-	tgt := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
-
 	const replicates = 12
 	variants := []string{"RSp", "RSb", "RSpf", "RSbf"}
 	rsBest := make([]float64, 0, replicates)
@@ -209,13 +251,22 @@ func runExtReplicates(ctx context.Context, cfg Config) (*Report, error) {
 	perf := map[string][]float64{}
 	srh := map[string][]float64{}
 
-	for rep := 0; rep < replicates; rep++ {
+	// One cell per replicate, each with its own problem instances and its
+	// own derived seed; aggregation below stays in replicate order.
+	outs := make([]*core.Outcome, replicates)
+	err = runCells(ctx, cfg, "ext-replicates-cells", replicates, func(ctx context.Context, rep int) error {
+		src := kernels.NewProblem(lu, sim.Target{Machine: machine.Westmere, Compiler: machine.GNU, Threads: 1})
+		tgt := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
 		opts := transferOpts(cfg)
 		opts.Seed = cfg.Seed ^ rng.Hash64(fmt.Sprintf("replicate-%d", rep))
-		out, err := core.Run(ctx, src, tgt, opts)
-		if err != nil {
-			return nil, err
-		}
+		var err error
+		outs[rep], err = core.Run(ctx, src, tgt, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range outs {
 		rb, _, _ := out.RS.Best()
 		rsBest = append(rsBest, rb.RunTime)
 		for _, v := range variants {

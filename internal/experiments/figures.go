@@ -28,15 +28,17 @@ func runFig1(ctx context.Context, cfg Config) (*Report, error) {
 	sandy := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
 
 	seq := search.Sequence(lu.Space(), cfg.CorrelationSamples, rng.NewNamed(cfg.Seed, "fig1"))
-	var w, s []float64
-	for _, c := range seq {
-		if ctx.Err() != nil {
-			break
-		}
-		rw, _ := west.Evaluate(c)
-		rs, _ := sandy.Evaluate(c)
-		w = append(w, rw)
-		s = append(s, rs)
+	// Each sample is an independent pair of evaluations (Problem.Evaluate
+	// is stateless), so they fan out over the pool engine; the result
+	// slices are indexed by sample, keeping them in sequence order.
+	w := make([]float64, len(seq))
+	s := make([]float64, len(seq))
+	if err := runCells(ctx, cfg, "fig1-samples", len(seq), func(ctx context.Context, i int) error {
+		w[i], _ = west.Evaluate(seq[i])
+		s[i], _ = sandy.Evaluate(seq[i])
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	rp, err := stats.Pearson(w, s)
 	if err != nil {
@@ -104,22 +106,31 @@ func transferFigure(ctx context.Context, cfg Config, workloads []string,
 	values := map[string]float64{}
 	var tables []*tabulate.Table
 
-	for _, wl := range workloads {
+	// One transfer per workload, fanned out over the pool engine;
+	// rendering below stays serial in workload order.
+	outs := make([]*core.Outcome, len(workloads))
+	err := runCells(ctx, cfg, "transfer-figure", len(workloads), func(ctx context.Context, i int) error {
+		wl := workloads[i]
 		src, err := problemFor(wl, srcM, comp, srcThreads)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tgt, err := problemFor(wl, tgtM, comp, tgtThreads)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		opts := transferOpts(cfg)
 		// One source RS stream per workload, as in the paper's setup.
 		opts.Seed = cfg.Seed ^ rng.Hash64("wl-"+wl)
-		out, err := core.Run(ctx, src, tgt, opts)
-		if err != nil {
-			return nil, err
-		}
+		outs[i], err = core.Run(ctx, src, tgt, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, wl := range workloads {
+		out := outs[i]
 
 		// The paper's trajectory panels plot best-found run time against
 		// elapsed search time; sample every algorithm on a common clock

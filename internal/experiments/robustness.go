@@ -64,7 +64,12 @@ func runExtRobustness(ctx context.Context, cfg Config) (*Report, error) {
 	values := map[string]float64{}
 	var b strings.Builder
 
-	for _, rate := range []float64{0, 0.10, 0.30} {
+	// One cell per failure rate; each builds its own (wrapped) problem
+	// instances, so the cells share nothing mutable.
+	rates := []float64{0, 0.10, 0.30}
+	outs := make([]*core.Outcome, len(rates))
+	err = runCells(ctx, cfg, "ext-robustness-cells", len(rates), func(ctx context.Context, i int) error {
+		rate := rates[i]
 		tag := fmt.Sprintf("r%02.0f", rate*100)
 		seed := cfg.Seed ^ rng.Hash64("ext-robustness/"+tag)
 		src := faulty(newSrc(), "Westmere", rate, seed)
@@ -72,11 +77,17 @@ func runExtRobustness(ctx context.Context, cfg Config) (*Report, error) {
 
 		opts := transferOpts(cfg)
 		opts.Seed = cfg.Seed // same candidate streams at every rate: only the faults differ
-		out, err := core.Run(ctx, src, tgt, opts)
-		if err != nil {
-			return nil, err
-		}
+		var err error
+		outs[i], err = core.Run(ctx, src, tgt, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 
+	for i, rate := range rates {
+		out := outs[i]
+		tag := fmt.Sprintf("r%02.0f", rate*100)
 		rateLabel := fmt.Sprintf("%.0f%%", rate*100)
 		for _, name := range []string{"SourceRS", "RS", "RSp", "RSb", "RSpf", "RSbf"} {
 			c := out.FailureCounts[name]

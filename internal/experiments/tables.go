@@ -3,9 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/kernels"
@@ -91,13 +89,9 @@ func speedupGrid(ctx context.Context, cfg Config, workloads []string, sources, t
 	values := map[string]float64{}
 
 	// The grid cells are independent transfer experiments with their own
-	// derived seeds, so they run concurrently; assembly below stays in
-	// deterministic row order.
+	// derived seeds, so they run concurrently on the shared pool engine;
+	// assembly below stays in deterministic row order.
 	type cellKey struct{ wl, src, tgt string }
-	type cellOut struct {
-		speedups core.Speedups
-		err      error
-	}
 	var jobs []cellKey
 	for _, wl := range workloads {
 		for _, tgtM := range targets {
@@ -112,53 +106,34 @@ func speedupGrid(ctx context.Context, cfg Config, workloads []string, sources, t
 			}
 		}
 	}
-	results := make([]cellOut, len(jobs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	jobCh := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobCh {
-				job := jobs[i]
-				srcM, _ := machine.ByName(job.src)
-				tgtM, _ := machine.ByName(job.tgt)
-				src, err := problemFor(job.wl, srcM, comp, threadsFor(srcM))
-				if err != nil {
-					results[i] = cellOut{err: err}
-					continue
-				}
-				tgt, err := problemFor(job.wl, tgtM, comp, threadsFor(tgtM))
-				if err != nil {
-					results[i] = cellOut{err: err}
-					continue
-				}
-				opts := transferOpts(cfg)
-				opts.Seed = cfg.Seed ^ rng.Hash64("wl-"+job.wl)
-				out, err := core.Run(ctx, src, tgt, opts)
-				if err != nil {
-					results[i] = cellOut{err: err}
-					continue
-				}
-				results[i] = cellOut{speedups: out.Speedups["RSb"]}
-			}
-		}()
-	}
-	for i := range jobs {
-		jobCh <- i
-	}
-	close(jobCh)
-	wg.Wait()
-
-	byKey := map[cellKey]cellOut{}
-	for i, job := range jobs {
-		if results[i].err != nil {
-			return nil, results[i].err
+	results := make([]core.Speedups, len(jobs))
+	err := runCells(ctx, cfg, "speedup-grid", len(jobs), func(ctx context.Context, i int) error {
+		job := jobs[i]
+		srcM, _ := machine.ByName(job.src)
+		tgtM, _ := machine.ByName(job.tgt)
+		src, err := problemFor(job.wl, srcM, comp, threadsFor(srcM))
+		if err != nil {
+			return err
 		}
+		tgt, err := problemFor(job.wl, tgtM, comp, threadsFor(tgtM))
+		if err != nil {
+			return err
+		}
+		opts := transferOpts(cfg)
+		opts.Seed = cfg.Seed ^ rng.Hash64("wl-"+job.wl)
+		out, err := core.Run(ctx, src, tgt, opts)
+		if err != nil {
+			return err
+		}
+		results[i] = out.Speedups["RSb"]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	byKey := map[cellKey]core.Speedups{}
+	for i, job := range jobs {
 		byKey[job] = results[i]
 	}
 
@@ -166,14 +141,13 @@ func speedupGrid(ctx context.Context, cfg Config, workloads []string, sources, t
 		for _, tgtM := range targets {
 			row := []string{wl, tgtM.Name}
 			for _, srcM := range sources {
-				cell, ok := byKey[cellKey{wl, srcM.Name, tgtM.Name}]
+				sp, ok := byKey[cellKey{wl, srcM.Name, tgtM.Name}]
 				if !ok {
 					// Diagonal or skipped: the paper could not collect
 					// these (run/compile times too high on X-Gene).
 					row = append(row, "-", "-")
 					continue
 				}
-				sp := cell.speedups
 				perf, srh := tabulate.F(sp.Performance), tabulate.F(sp.SearchTime)
 				if sp.Success {
 					perf, srh = tabulate.Bold(perf), tabulate.Bold(srh)

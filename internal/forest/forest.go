@@ -3,10 +3,9 @@ package forest
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -24,6 +23,11 @@ type Params struct {
 	// SampleFraction is the bootstrap sample size as a fraction of the
 	// training set (default 1.0, drawn with replacement).
 	SampleFraction float64
+	// Workers bounds the goroutines used by Fit (per tree) and PredictAll
+	// (per shard); <= 0 means one per CPU. Results are workers-invariant:
+	// every tree draws from its own named substream, and prediction only
+	// reads the fitted ensemble.
+	Workers int
 }
 
 func (p Params) withDefaults(nf int) Params {
@@ -74,46 +78,28 @@ func Fit(X [][]float64, y []float64, p Params, r *rng.RNG) (*Forest, error) {
 	n := len(y)
 	sampleN := int(math.Max(1, p.SampleFraction*float64(n)))
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > p.Trees {
-		workers = p.Trees
-	}
-
 	type treeOut struct {
 		inBag []bool
 		err   error
 	}
 	outs := make([]treeOut, p.Trees)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range jobs {
-				tr := r.SplitNamed(fmt.Sprintf("tree-%d", t))
-				inBag := make([]bool, n)
-				idxX := make([][]float64, sampleN)
-				idxY := make([]float64, sampleN)
-				for i := 0; i < sampleN; i++ {
-					j := tr.Intn(n)
-					inBag[j] = true
-					idxX[i] = X[j]
-					idxY[i] = y[j]
-				}
-				tree, err := FitTree(idxX, idxY, TreeParams{
-					MaxDepth: p.MaxDepth, MinLeaf: p.MinLeaf, MTry: p.MTry,
-				}, tr)
-				f.trees[t] = tree
-				outs[t] = treeOut{inBag: inBag, err: err}
-			}
-		}()
-	}
-	for t := 0; t < p.Trees; t++ {
-		jobs <- t
-	}
-	close(jobs)
-	wg.Wait()
+	parallel.Do(p.Workers, p.Trees, func(t int) {
+		tr := r.SplitNamed(fmt.Sprintf("tree-%d", t))
+		inBag := make([]bool, n)
+		idxX := make([][]float64, sampleN)
+		idxY := make([]float64, sampleN)
+		for i := 0; i < sampleN; i++ {
+			j := tr.Intn(n)
+			inBag[j] = true
+			idxX[i] = X[j]
+			idxY[i] = y[j]
+		}
+		tree, err := FitTree(idxX, idxY, TreeParams{
+			MaxDepth: p.MaxDepth, MinLeaf: p.MinLeaf, MTry: p.MTry,
+		}, tr)
+		f.trees[t] = tree
+		outs[t] = treeOut{inBag: inBag, err: err}
+	})
 
 	for _, o := range outs {
 		if o.err != nil {
@@ -158,6 +144,9 @@ func Fit(X [][]float64, y []float64, p Params, r *rng.RNG) (*Forest, error) {
 func (f *Forest) FitStats() (rows int, dur time.Duration) { return f.fitRows, f.fitDur }
 
 // Predict returns the forest prediction (mean over trees) for x.
+//
+// Predict is safe for concurrent use: a fitted forest is immutable, and
+// prediction walks the flat tree arrays without any shared scratch.
 func (f *Forest) Predict(x []float64) float64 {
 	if len(x) != f.nf {
 		panic(fmt.Sprintf("forest: predict with %d features, trained on %d", len(x), f.nf))
@@ -169,12 +158,25 @@ func (f *Forest) Predict(x []float64) float64 {
 	return sum / float64(len(f.trees))
 }
 
-// PredictAll predicts every row of X.
+// PredictAll predicts every row of X, sharding the rows over
+// Params.Workers goroutines. Each shard writes disjoint indices of the
+// output and every row is an independent Predict, so the result is
+// bit-identical to a serial loop for any worker count. Like Predict,
+// PredictAll is safe to call concurrently from multiple goroutines.
 func (f *Forest) PredictAll(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	for i, x := range X {
-		out[i] = f.Predict(x)
+	workers := parallel.Workers(f.params.Workers)
+	if workers > len(X) {
+		workers = len(X)
 	}
+	// Sharding (rather than one pool item per row) keeps the per-item
+	// overhead negligible next to a single tree walk.
+	parallel.Do(workers, workers, func(s int) {
+		lo, hi := parallel.Shard(len(X), workers, s)
+		for i := lo; i < hi; i++ {
+			out[i] = f.Predict(X[i])
+		}
+	})
 	return out
 }
 
@@ -186,7 +188,9 @@ func (f *Forest) NumTrees() int { return len(f.trees) }
 func (f *Forest) OOBError() (float64, bool) { return f.oobError, f.oobValid }
 
 // Importance returns per-feature importance scores normalized to sum to 1
-// (size-weighted split counts across all trees).
+// (size-weighted split counts across all trees). It accumulates into a
+// local buffer and only reads the fitted trees, so it is safe to call
+// concurrently with itself and with Predict/PredictAll.
 func (f *Forest) Importance() []float64 {
 	acc := make([]float64, f.nf)
 	for _, t := range f.trees {

@@ -1,0 +1,114 @@
+package forest
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestPredictAllMatchesPredict: the sharded batch path must be
+// bit-identical to a serial Predict loop for every worker count.
+func TestPredictAllMatchesPredict(t *testing.T) {
+	X, y := synth(200, rng.New(41))
+	probes, _ := synth(500, rng.New(42))
+	for _, workers := range []int{0, 1, 2, 7, 32} {
+		f, err := Fit(X, y, Params{Trees: 25, Workers: workers}, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := f.PredictAll(probes)
+		if len(got) != len(probes) {
+			t.Fatalf("workers=%d: PredictAll returned %d rows, want %d", workers, len(got), len(probes))
+		}
+		for i, x := range probes {
+			if got[i] != f.Predict(x) {
+				t.Fatalf("workers=%d: row %d: PredictAll %v != Predict %v", workers, i, got[i], f.Predict(x))
+			}
+		}
+	}
+	// Empty batch.
+	f, _ := Fit(X, y, Params{Trees: 5}, rng.New(5))
+	if out := f.PredictAll(nil); len(out) != 0 {
+		t.Fatalf("PredictAll(nil) returned %d rows", len(out))
+	}
+}
+
+// TestFitWorkersInvariant: the fitted forest is identical for any worker
+// count (every tree draws from its own named substream).
+func TestFitWorkersInvariant(t *testing.T) {
+	X, y := synth(150, rng.New(43))
+	probe := []float64{4, 6, 0.5}
+	ref, err := Fit(X, y, Params{Trees: 20, Workers: 1}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		f, err := Fit(X, y, Params{Trees: 20, Workers: workers}, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Predict(probe) != ref.Predict(probe) {
+			t.Fatalf("workers=%d: prediction differs from workers=1 fit", workers)
+		}
+		if oob, _ := f.OOBError(); func() float64 { o, _ := ref.OOBError(); return o }() != oob {
+			t.Fatalf("workers=%d: OOB error differs from workers=1 fit", workers)
+		}
+	}
+}
+
+// TestForestConcurrentUse pins the goroutine-safety contract of
+// search.Model: one fitted forest hammered from many goroutines through
+// Predict, PredictAll, and Importance must produce identical results
+// with no data races (run under -race in CI).
+func TestForestConcurrentUse(t *testing.T) {
+	X, y := synth(200, rng.New(47))
+	probes, _ := synth(100, rng.New(48))
+	f, err := Fit(X, y, Params{Trees: 20}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPreds := f.PredictAll(probes)
+	wantImp := f.Importance()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				switch (g + iter) % 3 {
+				case 0:
+					for i, x := range probes {
+						if f.Predict(x) != wantPreds[i] {
+							errs <- "Predict diverged under concurrency"
+							return
+						}
+					}
+				case 1:
+					got := f.PredictAll(probes)
+					for i := range got {
+						if got[i] != wantPreds[i] {
+							errs <- "PredictAll diverged under concurrency"
+							return
+						}
+					}
+				case 2:
+					imp := f.Importance()
+					for i := range imp {
+						if imp[i] != wantImp[i] {
+							errs <- "Importance diverged under concurrency"
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -235,6 +235,10 @@ const (
 	MetricAppendMillis   = "journal.append.ms"
 	MetricAppends        = "journal.appends"
 	MetricCheckpoints    = "journal.checkpoints"
+	MetricPoolRuns       = "pool.runs"
+	MetricPoolTasks      = "pool.tasks"
+	MetricPoolTaskMillis = "pool.task.ms"
+	MetricWarnings       = "warnings"
 )
 
 // MetricsSink folds trace events into a Registry: evaluation counts by
@@ -307,5 +311,13 @@ func (m *MetricsSink) Emit(e Event) {
 			[]float64{0.1, 0.5, 1, 5, 10, 50, 100}).Observe(float64(e.Dur) / float64(time.Millisecond))
 	case KindCheckpoint:
 		m.reg.Counter(MetricCheckpoints).Inc()
+	case KindPoolStart:
+		m.reg.Counter(MetricPoolRuns).Inc()
+	case KindWorkerTask:
+		m.reg.Counter(MetricPoolTasks).Inc()
+		m.reg.Histogram(MetricPoolTaskMillis,
+			[]float64{1, 5, 10, 50, 100, 500, 1000, 5000}).Observe(float64(e.Dur) / float64(time.Millisecond))
+	case KindWarning:
+		m.reg.Counter(MetricWarnings).Inc()
 	}
 }

@@ -137,3 +137,28 @@ func TestMetricsSinkBestIgnoresCensoredAndFailed(t *testing.T) {
 		t.Fatalf("best gauge = %v, want 5 (censored/failed must not count)", got)
 	}
 }
+
+func TestMetricsSinkFoldsPoolAndWarningEvents(t *testing.T) {
+	reg := NewRegistry()
+	tr := New(NewMetricsSink(reg))
+
+	tr.PoolStart("table4-cells", 8, 24)
+	for i := 0; i < 24; i++ {
+		tr.WorkerTask("table4-cells", i, i%8, time.Duration(i)*time.Millisecond)
+	}
+	tr.PoolFinish("table4-cells", 24, 100*time.Millisecond)
+	tr.Warn("RSpf", "deltaPct out of range")
+
+	if got := reg.Counter(MetricPoolRuns).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricPoolRuns, got)
+	}
+	if got := reg.Counter(MetricPoolTasks).Value(); got != 24 {
+		t.Errorf("%s = %d, want 24", MetricPoolTasks, got)
+	}
+	if n := reg.Histogram(MetricPoolTaskMillis, nil).Count(); n != 24 {
+		t.Errorf("%s observations = %d, want 24", MetricPoolTaskMillis, n)
+	}
+	if got := reg.Counter(MetricWarnings).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricWarnings, got)
+	}
+}

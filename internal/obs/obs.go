@@ -70,6 +70,20 @@ const (
 	// KindDegraded is a graceful fallback (e.g. surrogate unavailable,
 	// model variants degrading to plain RS).
 	KindDegraded
+	// KindPoolStart opens one worker-pool run (internal/parallel); Algo is
+	// the pool label, N the item count, Detail the resolved worker count.
+	KindPoolStart
+	// KindWorkerTask is one pool item completing: Seq is the item index,
+	// N the worker that ran it, Dur its wall time. Emission order follows
+	// completion order, so these are the one event class that legitimately
+	// varies between runs of the same seed.
+	KindWorkerTask
+	// KindPoolFinish closes a pool run; N is the number of items executed,
+	// Dur the pool's total wall time.
+	KindPoolFinish
+	// KindWarning is a non-fatal configuration or usage problem the system
+	// corrected (e.g. an out-of-range parameter replaced by its default).
+	KindWarning
 )
 
 var kindNames = map[Kind]string{
@@ -87,6 +101,10 @@ var kindNames = map[Kind]string{
 	KindJournalAppend: "journal-append",
 	KindFault:         "fault",
 	KindDegraded:      "degraded",
+	KindPoolStart:     "pool-start",
+	KindWorkerTask:    "worker-task",
+	KindPoolFinish:    "pool-finish",
+	KindWarning:       "warning",
 }
 
 // String names the kind as it appears in traces.
@@ -447,6 +465,45 @@ func (t *Tracer) Fault(problem string, config []int, attempt int, err error) {
 		e.Detail = err.Error()
 	}
 	t.sink.Emit(e)
+}
+
+// PoolStart marks the beginning of a worker-pool run: n items over the
+// given number of workers, under the pool's label.
+func (t *Tracer) PoolStart(label string, workers, n int) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{
+		Kind: KindPoolStart, Seq: -1, Algo: label, N: n,
+		Detail: "workers=" + strconv.Itoa(workers),
+	})
+}
+
+// WorkerTask records pool item completing on worker after dur of wall
+// time. These events arrive in completion order — they describe the
+// harness's scheduling, never the simulated experiment.
+func (t *Tracer) WorkerTask(label string, item, worker int, dur time.Duration) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindWorkerTask, Seq: item, Algo: label, N: worker, Dur: dur})
+}
+
+// PoolFinish closes a pool run after done items and dur of wall time.
+func (t *Tracer) PoolFinish(label string, done int, dur time.Duration) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindPoolFinish, Seq: -1, Algo: label, N: done, Dur: dur})
+}
+
+// Warn records a non-fatal configuration or usage problem that the
+// system corrected rather than failing on.
+func (t *Tracer) Warn(algo, detail string) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindWarning, Seq: -1, Algo: algo, Detail: detail})
 }
 
 // Degraded records a graceful fallback with its explanation.

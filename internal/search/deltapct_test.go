@@ -1,0 +1,99 @@
+package search
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// sumModel is a trivial deterministic Model for validation tests.
+type sumModel struct{}
+
+func (sumModel) Predict(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+func TestNormalizeDeltaPct(t *testing.T) {
+	cases := []struct {
+		in       float64
+		want     float64
+		adjusted bool
+	}{
+		{0, 20, false},    // unset sentinel: default, no warning
+		{20, 20, false},   // valid
+		{0.5, 0.5, false}, // valid
+		{99.9, 99.9, false},
+		{math.NaN(), 20, true}, // the bug: NaN must not slip through
+		{-5, 20, true},
+		{100, 20, true},
+		{250, 20, true},
+		{math.Inf(1), 20, true},
+	}
+	for _, c := range cases {
+		got, adj := NormalizeDeltaPct(c.in)
+		if got != c.want || adj != c.adjusted {
+			t.Errorf("NormalizeDeltaPct(%v) = (%v, %v), want (%v, %v)",
+				c.in, got, adj, c.want, c.adjusted)
+		}
+	}
+}
+
+// TestRSpfOutOfRangeDeltaPctWarnsAndUsesDefault: RSpf must validate
+// deltaPct the same way RSp does — replace out-of-range values
+// (including NaN) with the default AND say so via a warning event,
+// instead of rewriting silently.
+func TestRSpfOutOfRangeDeltaPctWarnsAndUsesDefault(t *testing.T) {
+	src := newBowl()
+	ta := DatasetFrom(RS(context.Background(), src, 50, rng.New(51)))
+
+	ref := RSpf(context.Background(), newBowl(), ta, 20)
+	for _, bad := range []float64{math.NaN(), -3, 150} {
+		sink := &obs.MemorySink{}
+		ctx := obs.WithTracer(context.Background(), obs.New(sink))
+		res := RSpf(ctx, newBowl(), ta, bad)
+		if len(res.Records) != len(ref.Records) {
+			t.Fatalf("deltaPct=%v: %d records, want %d (default behavior)",
+				bad, len(res.Records), len(ref.Records))
+		}
+		warns := sink.ByKind(obs.KindWarning)
+		if len(warns) != 1 || warns[0].Algo != "RSpf" {
+			t.Fatalf("deltaPct=%v: want exactly one RSpf warning event, got %+v", bad, warns)
+		}
+	}
+	// A valid value must not warn.
+	sink := &obs.MemorySink{}
+	ctx := obs.WithTracer(context.Background(), obs.New(sink))
+	RSpf(ctx, newBowl(), ta, 20)
+	if n := len(sink.ByKind(obs.KindWarning)); n != 0 {
+		t.Fatalf("valid deltaPct warned %d times", n)
+	}
+}
+
+// TestRSpOutOfRangeDeltaPctWarnsAndUsesDefault: same contract on the
+// model-based pruning path.
+func TestRSpOutOfRangeDeltaPctWarnsAndUsesDefault(t *testing.T) {
+	opts := func(d float64) RSpOptions {
+		return RSpOptions{NMax: 20, PoolSize: 200, DeltaPct: d}
+	}
+	ref := RSp(context.Background(), newBowl(), sumModel{}, opts(20), rng.New(7), rng.New(8))
+	for _, bad := range []float64{math.NaN(), -3, 150} {
+		sink := &obs.MemorySink{}
+		ctx := obs.WithTracer(context.Background(), obs.New(sink))
+		res := RSp(ctx, newBowl(), sumModel{}, opts(bad), rng.New(7), rng.New(8))
+		if len(res.Records) != len(ref.Records) {
+			t.Fatalf("deltaPct=%v: %d records, want %d (default behavior)",
+				bad, len(res.Records), len(ref.Records))
+		}
+		warns := sink.ByKind(obs.KindWarning)
+		if len(warns) != 1 || warns[0].Algo != "RSp" {
+			t.Fatalf("deltaPct=%v: want exactly one RSp warning event, got %+v", bad, warns)
+		}
+	}
+}

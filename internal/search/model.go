@@ -2,6 +2,8 @@ package search
 
 import (
 	"context"
+	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -13,8 +15,59 @@ import (
 
 // Model predicts the run time of an encoded configuration. A fitted
 // *forest.Forest satisfies it.
+//
+// Goroutine-safety contract: Predict must be safe for concurrent calls
+// from multiple goroutines — implementations may not mutate shared state
+// while predicting. Every in-tree model (forest.Forest, core.Surrogate,
+// core.KNNModel, core.LinearModel) is an immutable fitted artifact whose
+// Predict only reads it; this is what lets parallel experiment cells
+// share one model and lets PredictAll shard rows over workers. The
+// contract is pinned by -race hammer tests in forest and core.
 type Model interface {
 	Predict(x []float64) float64
+}
+
+// BatchModel is the optional batched extension of Model. PredictAll
+// must return exactly what calling Predict on each row would — the
+// batch is a performance path (forest.Forest shards it over workers),
+// never a semantic one.
+type BatchModel interface {
+	Model
+	PredictAll(X [][]float64) []float64
+}
+
+// predictAll scores every row of X with m, through the batched path
+// when the model provides one and row-by-row otherwise. Either way the
+// result is bit-identical to a serial Predict loop.
+func predictAll(m Model, X [][]float64) []float64 {
+	if bm, ok := m.(BatchModel); ok {
+		return bm.PredictAll(X)
+	}
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// DefaultDeltaPct is the paper's pruning-cutoff quantile percentage.
+const DefaultDeltaPct = 20
+
+// NormalizeDeltaPct validates a pruning-cutoff quantile percentage. A
+// zero value is the "unset" sentinel and quietly takes the paper's
+// default; any other value outside (0, 100) — including NaN, which
+// slips past naive range checks — is replaced by the default with
+// adjusted=true, so callers can emit a warning instead of rewriting the
+// parameter silently. RSp, RSpf, and core.Options all validate through
+// this one function.
+func NormalizeDeltaPct(d float64) (pct float64, adjusted bool) {
+	if d == 0 {
+		return DefaultDeltaPct, false
+	}
+	if math.IsNaN(d) || d <= 0 || d >= 100 {
+		return DefaultDeltaPct, true
+	}
+	return d, false
 }
 
 // timedModel wraps a Model and accumulates the wall time its Predict
@@ -22,6 +75,10 @@ type Model interface {
 // enabled, so the untraced scoring loop calls the model directly with
 // zero overhead. Wall time never feeds back into the search: it is an
 // observation about the harness, not a simulated quantity.
+//
+// Unlike the models it wraps, timedModel is intentionally NOT safe for
+// concurrent use (the counters are plain fields): each search run owns
+// its wrapper and calls it from one goroutine.
 type timedModel struct {
 	m   Model
 	n   int
@@ -35,6 +92,17 @@ func (tm *timedModel) Predict(x []float64) float64 {
 	tm.dur += time.Since(t0) //lint:ignore nodeterm observability-only: accumulated into an obs duration field
 	tm.n++
 	return v
+}
+
+// PredictAll implements BatchModel by forwarding to the wrapped model's
+// batched path, counting one call per row so a traced run reports the
+// same prediction count a row-by-row loop would.
+func (tm *timedModel) PredictAll(X [][]float64) []float64 {
+	t0 := time.Now() //lint:ignore nodeterm observability-only: measures model latency for obs events, never feeds the search
+	out := predictAll(tm.m, X)
+	tm.dur += time.Since(t0) //lint:ignore nodeterm observability-only: accumulated into an obs duration field
+	tm.n += len(X)
+	return out
 }
 
 // flush emits the accumulated calls as one model-predict event for the
@@ -78,9 +146,7 @@ func (o RSpOptions) withDefaults() RSpOptions {
 	if o.PoolSize <= 0 {
 		o.PoolSize = 10000
 	}
-	if o.DeltaPct <= 0 || o.DeltaPct >= 100 {
-		o.DeltaPct = 20
-	}
+	o.DeltaPct, _ = NormalizeDeltaPct(o.DeltaPct)
 	if o.MaxConsidered <= 0 {
 		o.MaxConsidered = 100 * o.NMax
 	}
@@ -98,18 +164,24 @@ func (o RSpOptions) withDefaults() RSpOptions {
 // order and merely skip some — the paper's common-random-numbers setup.
 // The pool is drawn from poolR.
 func RSp(ctx context.Context, p Problem, m Model, opt RSpOptions, r, poolR *rng.RNG) *Result {
+	origDelta := opt.DeltaPct
+	_, adjusted := NormalizeDeltaPct(origDelta)
 	opt = opt.withDefaults()
 	spc := p.Space()
 	run := newRunner(p, "RSp")
 	run.start(ctx)
 	defer run.finish()
+	if adjusted {
+		run.tr.Warn("RSp", fmt.Sprintf("deltaPct %g outside (0,100); using default %g", origDelta, opt.DeltaPct))
+	}
 	scorer, tm := timed(run.tr, m)
 
 	pool := spc.SamplePool(opt.PoolSize, poolR)
-	preds := make([]float64, len(pool))
+	X := make([][]float64, len(pool))
 	for i, c := range pool {
-		preds[i] = scorer.Predict(spc.Encode(c))
+		X[i] = spc.Encode(c)
 	}
+	preds := predictAll(scorer, X)
 	cutoff := stats.Quantile(preds, opt.DeltaPct/100)
 	if tm != nil {
 		tm.flush(run.tr, "RSp", "pool-score")
@@ -171,9 +243,14 @@ func RSb(ctx context.Context, p Problem, m Model, opt RSbOptions, poolR *rng.RNG
 		c    space.Config
 		pred float64
 	}
+	X := make([][]float64, len(pool))
+	for i, c := range pool {
+		X[i] = spc.Encode(c)
+	}
+	preds := predictAll(scorer, X)
 	scoredPool := make([]scored, len(pool))
 	for i, c := range pool {
-		scoredPool[i] = scored{c: c, pred: scorer.Predict(spc.Encode(c))}
+		scoredPool[i] = scored{c: c, pred: preds[i]}
 	}
 	if tm != nil {
 		tm.flush(run.tr, "RSb", "pool-score")
@@ -198,12 +275,16 @@ func RSb(ctx context.Context, p Problem, m Model, opt RSbOptions, poolR *rng.RNG
 // run time missed the cutoff. The search is therefore restricted to the
 // configurations of Ta.
 func RSpf(ctx context.Context, p Problem, ta Dataset, deltaPct float64) *Result {
-	if deltaPct <= 0 || deltaPct >= 100 {
-		deltaPct = 20
-	}
+	// Same validation as RSp (via RSpOptions): out-of-range values warn
+	// and take the default instead of being rewritten silently.
+	origDelta := deltaPct
+	deltaPct, adjusted := NormalizeDeltaPct(deltaPct)
 	run := newRunner(p, "RSpf")
 	run.start(ctx)
 	defer run.finish()
+	if adjusted {
+		run.tr.Warn("RSpf", fmt.Sprintf("deltaPct %g outside (0,100); using default %g", origDelta, deltaPct))
+	}
 	ta = ta.Valid()
 	if len(ta) == 0 {
 		return run.res
@@ -281,6 +362,12 @@ func RSbA(ctx context.Context, p Problem, initial Model, ta Dataset, opt RSbOpti
 	pool := spc.SamplePool(opt.PoolSize, poolR)
 	remaining := make([]space.Config, len(pool))
 	copy(remaining, pool)
+	// Encodings travel with the pool entries so each refit generation can
+	// re-score the remaining configurations in one batch.
+	enc := make([][]float64, len(remaining))
+	for i, c := range remaining {
+		enc[i] = spc.Encode(c)
+	}
 
 	model := initial
 	observed := append(Dataset{}, ta...)
@@ -294,16 +381,21 @@ func RSbA(ctx context.Context, p Problem, initial Model, ta Dataset, opt RSbOpti
 
 	for len(run.res.Records) < opt.NMax && len(remaining) > 0 && ctx.Err() == nil {
 		// Pick the argmin-predicted configuration from the remaining pool.
+		// Batched scoring plus a strict-< scan reproduces the serial
+		// Predict loop's choice exactly (first minimum wins in both).
+		preds := predictAll(scorer, enc)
 		best := 0
-		bestPred := scorer.Predict(spc.Encode(remaining[0]))
-		for i := 1; i < len(remaining); i++ {
-			if pred := scorer.Predict(spc.Encode(remaining[i])); pred < bestPred {
-				best, bestPred = i, pred
+		bestPred := preds[0]
+		for i := 1; i < len(preds); i++ {
+			if preds[i] < bestPred {
+				best, bestPred = i, preds[i]
 			}
 		}
 		c := remaining[best]
 		remaining[best] = remaining[len(remaining)-1]
 		remaining = remaining[:len(remaining)-1]
+		enc[best] = enc[len(enc)-1]
+		enc = enc[:len(enc)-1]
 
 		rec, ok := run.evaluate(ctx, c)
 		if !ok {

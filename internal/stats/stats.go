@@ -88,13 +88,18 @@ func ArgMin(xs []float64) int {
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
 // interpolation between order statistics (type-7, the R/NumPy default).
-// xs is not modified.
+// xs is not modified. q must be a finite value in [0, 1]: NaN is
+// rejected explicitly — it fails both range comparisons, so without its
+// own check it would slip through and crash in slice indexing with a
+// far less useful panic. NaN-bearing xs are the caller's concern
+// (sort.Float64s places NaNs first, skewing the order statistics);
+// search-layer callers filter failures via Dataset.Valid first.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
-	if q < 0 || q > 1 {
-		panic("stats: quantile out of [0,1]")
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		panic("stats: quantile q must be a finite value in [0,1]")
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)

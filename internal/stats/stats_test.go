@@ -318,3 +318,26 @@ func TestSpearmanEqualsPearsonOnRanks(t *testing.T) {
 		t.Fatalf("Spearman %v != Pearson-of-ranks %v", s, p)
 	}
 }
+
+// TestQuantileRejectsNonFiniteQ: NaN fails both range comparisons of a
+// naive q < 0 || q > 1 guard and used to slip through to slice indexing;
+// the guard must reject it (and +/-Inf) with a clear panic.
+func TestQuantileRejectsNonFiniteQ(t *testing.T) {
+	for _, q := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.01, 1.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(xs, %v) did not panic", q)
+				}
+			}()
+			Quantile([]float64{1, 2, 3}, q)
+		}()
+	}
+	// The valid boundary values must still work.
+	if got := Quantile([]float64{1, 2, 3}, 0); got != 1 {
+		t.Fatalf("Quantile(0) = %v", got)
+	}
+	if got := Quantile([]float64{1, 2, 3}, 1); got != 3 {
+		t.Fatalf("Quantile(1) = %v", got)
+	}
+}
