@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race lint crashtest trace-smoke bench-parallel
+.PHONY: check build vet test race lint crashtest trace-smoke bench-parallel bench-json broker-chaos
 
 # check is the full local CI gate: build everything, run the static
 # analyzers, and run the test suite under the race detector.
@@ -37,6 +37,21 @@ crashtest:
 # time differs). Output lands in bench-parallel.txt (CI uploads it).
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkExperimentCell' -benchtime 2x . | tee bench-parallel.txt
+
+# bench-json runs the broker benchmark suite — broker dispatch
+# throughput, end-to-end RSp/RSb inline vs brokered, and forest batched
+# prediction — and converts the combined output into BENCH_PR6.json
+# (CI uploads it). bench-raw.txt keeps the raw `go test -bench` lines.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkBrokerThroughput' -benchtime 2x ./internal/broker/ > bench-raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkEndToEndRS[pb]' -benchtime 2x . >> bench-raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkForestPredict' -benchtime 2x ./internal/forest/ >> bench-raw.txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR6.json < bench-raw.txt
+
+# broker-chaos runs the broker suite and its randomized chaos campaign
+# under the race detector, verbosely (CI uploads the log on failure).
+broker-chaos:
+	$(GO) test -race -count=1 -v ./internal/broker/... 2>&1 | tee broker-chaos.txt
 
 # trace-smoke runs a small traced, faulted, journaled search and checks
 # that tracestat can parse and summarize the trace. The trace lands in

@@ -17,6 +17,7 @@ import (
 
 	"testing"
 
+	"repro/internal/broker"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/forest"
@@ -364,6 +365,78 @@ func BenchmarkTelemetryRSpScoring(b *testing.B) {
 				search.RSp(c.ctx, tgt, sur,
 					search.RSpOptions{NMax: 20, PoolSize: 2000},
 					rng.New(3), rng.New(4))
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation broker benchmarks: the end-to-end model-guided searches
+// (RSp, RSb) run inline and through the fault-tolerant broker. Results
+// are bit-identical either way (TestBrokerMatchesInline); the delta
+// measured here is the broker's dispatch overhead. `make bench-json`
+// collects these plus BenchmarkBrokerThroughput and
+// BenchmarkForestPredict into BENCH_PR6.json.
+
+// benchSurrogate fits a small transfer surrogate once: T_a collected by
+// RS on Sandybridge, forest fitted on it, searches run on Westmere.
+func benchSurrogate(b *testing.B) (search.Problem, *core.Surrogate) {
+	b.Helper()
+	lu, err := kernels.ByName("LU")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := kernels.NewProblem(lu, sim.Target{Machine: machine.Sandybridge, Compiler: machine.GNU, Threads: 1})
+	tgt := kernels.NewProblem(lu, sim.Target{Machine: machine.Westmere, Compiler: machine.GNU, Threads: 1})
+	_, ta := core.Collect(context.Background(), src, 60, rng.NewNamed(2016, "crn-stream"))
+	sur, err := core.FitSurrogate(ta, src.Space(), src.Name(), forest.Params{Trees: 50}, rng.NewNamed(2016, "forest"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tgt, sur
+}
+
+func BenchmarkEndToEndRSp(b *testing.B) {
+	tgt, sur := benchSurrogate(b)
+	for _, c := range []struct {
+		name     string
+		brokered bool
+	}{{"inline", false}, {"brokered", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			p := search.Problem(tgt)
+			if c.brokered {
+				bk := broker.New(broker.Options{Workers: 4})
+				defer bk.Close()
+				p = bk.Problem(p)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				search.RSp(context.Background(), p, sur,
+					search.RSpOptions{NMax: 50, PoolSize: 2000, DeltaPct: 20},
+					rng.NewNamed(2016, "crn-stream"), rng.NewNamed(2016, "pool"))
+			}
+		})
+	}
+}
+
+func BenchmarkEndToEndRSb(b *testing.B) {
+	tgt, sur := benchSurrogate(b)
+	for _, c := range []struct {
+		name     string
+		brokered bool
+	}{{"inline", false}, {"brokered", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			p := search.Problem(tgt)
+			if c.brokered {
+				bk := broker.New(broker.Options{Workers: 4})
+				defer bk.Close()
+				p = bk.Problem(p)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				search.RSb(context.Background(), p, sur,
+					search.RSbOptions{NMax: 50, PoolSize: 2000},
+					rng.NewNamed(2016, "pool"))
 			}
 		})
 	}

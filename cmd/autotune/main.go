@@ -6,6 +6,7 @@
 //	autotune -problem LU -machine Sandybridge [-compiler gnu-4.4.7]
 //	         [-threads 1] [-algo rs|sa|ga|ps|ensemble] [-nmax 100] [-seed 42]
 //	         [-faults 0.3] [-retries 2] [-timeout 30] [-workers N]
+//	         [-broker] [-broker-workers N] [-hedge-after 50ms]
 //	         [-journal DIR] [-resume DIR] [-throttle 50ms]
 //	         [-trace FILE] [-progress] [-metrics]
 //	         [-cpuprofile FILE] [-memprofile FILE]
@@ -37,6 +38,16 @@
 // time per evaluation — it changes nothing about the result, only makes
 // fast simulated runs interruptible (demos, tests).
 //
+// -broker routes every evaluation through the fault-tolerant in-process
+// broker: queued worker shards with backpressure, capped-backoff
+// retries, optional hedged re-dispatch (-hedge-after D), per-worker
+// circuit breakers, and inline degradation when every worker is
+// quarantined. Like -workers it is results-invariant: the broker moves
+// evaluations between workers but never changes what they return, so a
+// brokered run is bit-identical to an inline one. With -journal,
+// brokered runs also journal the evaluation in flight, and the journal
+// resumes with or without the broker.
+//
 // -workers N caps the OS threads the Go runtime schedules goroutines on
 // (GOMAXPROCS; 0 keeps the runtime default). The search algorithms
 // evaluate configurations strictly in sequence — parallelism never
@@ -65,6 +76,7 @@ import (
 	"time"
 
 	"repro/internal/annotate"
+	"repro/internal/broker"
 	"repro/internal/codegen"
 	"repro/internal/faults"
 	"repro/internal/journal"
@@ -112,6 +124,9 @@ func run() int {
 		resumeDir  = flag.String("resume", "", "resume an interrupted run from its journal directory")
 		throttle   = flag.Duration("throttle", 0, "wall-clock pause per evaluation (makes simulated runs interruptible)")
 		workers    = flag.Int("workers", 0, "cap on OS threads for goroutine scheduling (0 = runtime default; results identical for any value)")
+		brokerOn   = flag.Bool("broker", false, "route evaluations through the fault-tolerant broker (queued workers, retries, circuit breakers; results identical either way)")
+		brokerW    = flag.Int("broker-workers", 0, "broker worker shards (0 = broker default; implies -broker)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "broker hedged re-dispatch delay for straggling evaluations (0 disables; implies -broker)")
 		verbose    = flag.Bool("v", false, "print every evaluation")
 		emit       = flag.Bool("emit", false, "print the best variant as C code (kernel problems)")
 		traceFile  = flag.String("trace", "", "write a JSONL event trace to FILE (read with cmd/tracestat)")
@@ -179,10 +194,12 @@ func run() int {
 	// wrap with retry/timeout budgets. With neither faults nor budgets
 	// requested the problem runs bare, exactly as before.
 	faulted := *faultRate > 0
+	var inj *faults.Injector
 	if faulted || *timeout > 0 {
 		fp := search.Fallible(p)
 		if faulted {
-			fp = faults.Wrap(p, faults.Profile(*machineN).ScaledTo(*faultRate), *seed)
+			inj = faults.Wrap(p, faults.Profile(*machineN).ScaledTo(*faultRate), *seed)
+			fp = inj
 		}
 		p = search.NewResilient(fp, search.ResilientOptions{
 			Retries: *retries,
@@ -191,6 +208,21 @@ func run() int {
 	}
 	if *throttle > 0 {
 		p = throttled{Problem: p, d: *throttle}
+	}
+
+	// The evaluation broker wraps outermost, so the full resilient stack
+	// runs inside its worker shards. Like -workers it is results-
+	// invariant (and therefore absent from metaExtra): the broker only
+	// changes where evaluations execute, never what they return.
+	brokered := *brokerOn || *brokerW > 0 || *hedgeAfter > 0
+	if *brokerW < 0 {
+		warnf("-broker-workers must be >= 0, got %d", *brokerW)
+		return exitUsage
+	}
+	if brokered {
+		b := broker.New(broker.Options{Workers: *brokerW, HedgeAfter: *hedgeAfter})
+		defer b.Close()
+		p = b.Problem(p)
 	}
 
 	if *cpuprofile != "" {
@@ -258,6 +290,12 @@ func run() int {
 		sinks = append(sinks, prog)
 	}
 	ctx = obs.WithTracer(ctx, obs.New(obs.Multi(sinks...)))
+	if inj != nil {
+		for _, w := range inj.Warnings() {
+			warnf("faults: %s", w)
+			obs.FromContext(ctx).Warn(*algo, "faults: "+w)
+		}
+	}
 
 	var (
 		res   *search.Result
@@ -265,8 +303,12 @@ func run() int {
 		pulls map[string]int
 	)
 	if *journalDir != "" {
+		// Brokered runs journal in-flight work, so a SIGKILL mid-
+		// evaluation still resumes cleanly (and the resume may drop the
+		// broker entirely).
+		wopt := journal.WrapOptions{TrackInFlight: brokered}
 		res, info, err = runJournaled(ctx, *journalDir, p, *algo, *nmax, *seed, metaExtra(
-			*problem, *annotation, *machineN, *compilerN, *threads, *algo, *faultRate, *retries, *timeout), &pulls)
+			*problem, *annotation, *machineN, *compilerN, *threads, *algo, *faultRate, *retries, *timeout), wopt, &pulls)
 	} else {
 		res, err = runDirect(ctx, p, *algo, *nmax, *seed, &pulls)
 	}
@@ -360,19 +402,19 @@ func runDirect(ctx context.Context, p search.Problem, algo string, nmax int, see
 // runJournaled runs the chosen algorithm through the crash-safe journal
 // in dir, creating it or resuming bit-exactly from what it holds.
 func runJournaled(ctx context.Context, dir string, p search.Problem, algo string, nmax int,
-	seed uint64, extra map[string]string, pulls *map[string]int) (*search.Result, *journal.RunInfo, error) {
+	seed uint64, extra map[string]string, wopt journal.WrapOptions, pulls *map[string]int) (*search.Result, *journal.RunInfo, error) {
 
 	if algo == "rs" {
 		// Random search gets the checkpoint fast path: resume continues
 		// directly from the restored sampler stream, no replay.
-		return journal.RunRS(ctx, dir, p, nmax, seed, extra, journal.WrapOptions{})
+		return journal.RunRS(ctx, dir, p, nmax, seed, extra, wopt)
 	}
 	drive, err := driveFor(algo, nmax, seed, pulls)
 	if err != nil {
 		return nil, nil, err
 	}
 	meta := journal.Meta{Problem: p.Name(), Algorithm: algo, Seed: seed, NMax: nmax, Extra: extra}
-	return journal.Run(ctx, dir, meta, p, journal.WrapOptions{}, drive)
+	return journal.Run(ctx, dir, meta, p, wopt, drive)
 }
 
 // driveFor returns the deterministic driver for one algorithm: the same

@@ -1,0 +1,142 @@
+// Command benchjson converts `go test -bench` output into a structured
+// JSON report. It reads benchmark output on stdin and writes one JSON
+// document to the file named by -o (default BENCH.json):
+//
+//	go test -run '^$' -bench 'BenchmarkBroker' -benchtime 2x ./... |
+//	    go run ./cmd/benchjson -o BENCH_PR6.json
+//
+// Each benchmark line becomes an entry with its name, iteration count,
+// ns/op, and any extra metrics the benchmark reported via
+// b.ReportMetric (e.g. pearson, speedup). Lines that are not benchmark
+// results (pass/fail markers, package headers) are passed through to
+// stderr so a piped run still shows its progress.
+//
+// The JSON is stable: entries appear in input order and keys are
+// emitted sorted, so two runs of the same benchmarks diff cleanly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	// Name is the full benchmark name including sub-benchmarks,
+	// with the -N GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op figure.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics carries every additional unit the benchmark reported
+	// (bytes/op, allocs/op, and custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	// Context lines captured from the benchmark header (goos, goarch,
+	// pkg, cpu), keyed by field name.
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks holds the results in input order.
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output JSON file")
+	flag.Parse()
+
+	rep := Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if e, ok := parseBench(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, e)
+				continue
+			}
+		case hasContextPrefix(line):
+			k, v, _ := strings.Cut(line, ":")
+			rep.Context[k] = strings.TrimSpace(v)
+			continue
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+func hasContextPrefix(line string) bool {
+	for _, p := range []string{"goos:", "goarch:", "pkg:", "cpu:"} {
+		if strings.HasPrefix(line, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseBench parses one result line of the form
+//
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   2 allocs/op   0.93 pearson
+//
+// into an Entry. Fields after the iteration count come in value/unit
+// pairs.
+func parseBench(line string) (Entry, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Entry{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -N GOMAXPROCS suffix, keeping sub-benchmark slashes.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		if f[i+1] == "ns/op" {
+			e.NsPerOp = v
+		} else {
+			e.Metrics[f[i+1]] = v
+		}
+	}
+	if len(e.Metrics) == 0 {
+		e.Metrics = nil
+	}
+	return e, true
+}

@@ -65,6 +65,9 @@ func run() int {
 		values  = flag.Bool("values", false, "also print the named scalar values")
 		metrics = flag.Bool("metrics", false, "also print each experiment's telemetry metrics snapshot")
 		workers = flag.Int("workers", 0, "worker goroutines per experiment (0 = one per CPU; results identical for any value)")
+		broker  = flag.Bool("broker", false, "route evaluations through the fault-tolerant broker (results identical either way)")
+		brokerW = flag.Int("broker-workers", 0, "broker worker shards (0 = broker default; implies -broker)")
+		hedge   = flag.Duration("hedge-after", 0, "broker hedged re-dispatch delay for stragglers (0 disables; implies -broker)")
 		resume  = flag.String("resume", "", "resume an interrupted sweep from DIR's progress file (implies -outdir DIR)")
 	)
 	flag.Parse()
@@ -82,10 +85,18 @@ func run() int {
 		cfg = experiments.Quick(*seed)
 	}
 	cfg.Workers = *workers
-	// -workers is deliberately absent from the configuration line: reports
-	// are workers-invariant (asserted by TestParallelMatchesSerial), so a
-	// sweep may be resumed under a different worker count without forking
-	// the results.
+	if *broker || *brokerW > 0 || *hedge > 0 {
+		cfg.BrokerWorkers = *brokerW
+		if cfg.BrokerWorkers <= 0 {
+			cfg.BrokerWorkers = 4
+		}
+		cfg.BrokerHedgeAfter = *hedge
+	}
+	// -workers and the broker flags are deliberately absent from the
+	// configuration line: reports are workers- and broker-invariant
+	// (asserted by TestParallelMatchesSerial and TestBrokerMatchesDirect),
+	// so a sweep may be resumed under a different worker count or broker
+	// shape without forking the results.
 	cfgLine := fmt.Sprintf("# cfg seed=%d quick=%v nmax=%d pool=%d trees=%d",
 		*seed, *quick, *nmax, *pool, *trees)
 

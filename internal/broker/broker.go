@@ -1,0 +1,555 @@
+// Package broker is the fault-tolerant evaluation broker: it turns
+// inline Evaluate calls into queued work items served by a pool of
+// in-process worker shards, with production-grade robustness semantics
+// layered between the search algorithms and the simulator.
+//
+//   - Bounded submission queue with backpressure: callers block (default)
+//     or shed to inline execution per policy; the queue never grows
+//     unboundedly.
+//   - Per-worker failure domains: injected faults (see Faults) crash,
+//     hang, or straggle one worker without touching the others; a crash
+//     is contained by a parallel.Group supervisor that respawns the
+//     worker's loop.
+//   - Deadline propagation, retry with capped backoff, and hedged
+//     re-dispatch for stragglers: the first completing copy wins and the
+//     loser's work is charged to telemetry (hedge-wasted), never to the
+//     result.
+//   - A per-worker circuit breaker quarantines repeatedly failing
+//     workers and re-admits them after a probation window measured in
+//     completed tasks — not wall clock — so breaker state transitions
+//     are a function of work done, not of scheduling speed.
+//   - Graceful degradation: when every worker is quarantined (or a
+//     task's retry budget is exhausted) the broker evaluates inline on
+//     the caller and marks Outcome.Degraded, so the search always
+//     terminates with a full result.
+//
+// The headline invariant is bit-identical results: because the broker
+// evaluates the underlying problem exactly once per submitted task (a
+// claim guard makes hedged copies race for the right to evaluate, not
+// evaluate twice) and searches submit sequentially, a brokered search
+// produces the same Records, Result, and deterministic telemetry as the
+// inline search — under worker faults, hedging, and quarantine
+// (TestBrokerMatchesInline). Worker faults fire before the underlying
+// problem is touched, so they can only move an evaluation between
+// workers, never change what it returns.
+//
+// Wall-clock use (hedge timers, retry backoff) is deliberately confined
+// to scheduling decisions whose observable effect is broker telemetry —
+// the same contract KindWorkerTask documents for the pool engine.
+package broker
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/search"
+	"repro/internal/space"
+)
+
+// interruptedOutcome is the sentinel outcome for a cancelled submission:
+// Outcome.Interrupted() is true, so the search never records it.
+func interruptedOutcome(err error) search.Outcome {
+	return search.Outcome{RunTime: math.Inf(1), Status: search.StatusFailed, Err: err}
+}
+
+// Policy selects the backpressure behavior when the submission queue is
+// full.
+type Policy int
+
+const (
+	// Block makes Evaluate wait for queue space (bounded-buffer
+	// backpressure; the default).
+	Block Policy = iota
+	// Shed makes Evaluate fall back to inline execution when the queue is
+	// full, trading latency isolation for immediate progress. Shed tasks
+	// are counted in broker.shed and are not marked Degraded — shedding
+	// is a policy choice, not a failure.
+	Shed
+)
+
+// Options configures a Broker. The zero value means: 4 workers, queue
+// depth 2×workers, Block policy, 2 re-dispatch retries with 1ms backoff
+// capped at 50ms, hedging disabled, breaker threshold 3 with a
+// probation window of 2×workers completed tasks, no injected faults.
+type Options struct {
+	// Workers is the number of worker shards (<=0 → 4).
+	Workers int
+	// QueueDepth bounds the submission queue (<=0 → 2*Workers).
+	QueueDepth int
+	// Policy is the backpressure policy when the queue is full.
+	Policy Policy
+	// Retries bounds broker-level re-dispatches per task after worker
+	// failures (0 → 2, negative → none). Exhausting the budget degrades
+	// the task to inline execution rather than failing it.
+	Retries int
+	// Backoff is the base re-dispatch pause, growing as Backoff*2^k and
+	// capped at BackoffCap (defaults 1ms / 50ms). Wall-clock only: it
+	// paces recovery, it is never charged to the search clock.
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// HedgeAfter re-dispatches a task still running after this long, so a
+	// straggling worker cannot stall the search. 0 disables hedging.
+	HedgeAfter time.Duration
+	// BreakerThreshold quarantines a worker after this many consecutive
+	// failures (<=0 → 3).
+	BreakerThreshold int
+	// Probation is the quarantine window in completed tasks (<=0 →
+	// 2*Workers): a quarantined worker is re-admitted half-open after the
+	// broker completes this many tasks without it.
+	Probation int
+	// Faults injects per-worker crash/stall decisions (nil → none).
+	Faults Faults
+	// Label names the broker in telemetry events (default "broker").
+	Label string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 2 * o.Workers
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 50 * time.Millisecond
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.Probation <= 0 {
+		o.Probation = 2 * o.Workers
+	}
+	if o.Label == "" {
+		o.Label = "broker"
+	}
+	return o
+}
+
+// workerState is one worker's breaker bookkeeping, guarded by Broker.mu.
+type workerState struct {
+	// fails counts consecutive failures; reset on a completed task.
+	fails int
+	// gate is non-nil while the worker is quarantined; the worker blocks
+	// on it and is released when the gate is closed at re-admission.
+	gate chan struct{}
+	// readmitAt is the completed-task count at which the worker leaves
+	// probation.
+	readmitAt int
+}
+
+// workerCrash is the panic payload workers throw on an injected crash;
+// the group supervisor recovers it and routes the task to re-dispatch.
+type workerCrash struct {
+	worker int
+	t      *task
+}
+
+// Broker is the evaluation broker. Create with New, evaluate through
+// Evaluate (or wrap a Problem with Problem), and Close when done.
+type Broker struct {
+	opt    Options
+	queue  chan *task
+	closed chan struct{}
+	once   sync.Once
+	group  *parallel.Group
+
+	mu          sync.Mutex
+	seq         int // next task sequence number
+	completed   int // completed tasks (the breaker's probation clock)
+	workers     []workerState
+	quarantined int
+}
+
+// New starts a broker with opt's worker shards. The caller must Close it
+// to stop the workers.
+func New(opt Options) *Broker {
+	opt = opt.withDefaults()
+	b := &Broker{
+		opt:     opt,
+		queue:   make(chan *task, opt.QueueDepth),
+		closed:  make(chan struct{}),
+		workers: make([]workerState, opt.Workers),
+	}
+	b.group = parallel.NewGroup(b.onWorkerPanic)
+	for w := 0; w < opt.Workers; w++ {
+		w := w
+		b.group.Spawn(w, func() { b.workerLoop(w) })
+	}
+	return b
+}
+
+// Close stops the workers and waits for them to retire. Tasks already
+// claimed finish; unclaimed queued tasks are completed inline by their
+// submitters. Close is idempotent.
+func (b *Broker) Close() {
+	b.once.Do(func() { close(b.closed) })
+	b.group.Wait()
+}
+
+// task is one brokered evaluation. The claim guard (mu/claimed) makes
+// the underlying problem run exactly once no matter how many copies —
+// hedges, retries, inline fallbacks — race to execute it.
+type task struct {
+	seq  int
+	p    search.Problem
+	c    space.Config
+	ctx  context.Context
+	tr   *obs.Tracer
+	done chan struct{}
+
+	mu       sync.Mutex
+	claimed  bool
+	finished bool
+	out      search.Outcome
+
+	dispatches atomic.Int32 // dispatch attempts (fault-roll key)
+	retries    atomic.Int32 // broker-level re-dispatches consumed
+	cancelled  atomic.Bool  // submitter gave up (ctx done)
+	hedged     atomic.Bool  // a hedge copy was issued
+}
+
+// outcome returns the stored result after done is closed.
+func (t *task) outcome() search.Outcome {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.out
+}
+
+// execute claims the task and runs the underlying evaluation exactly
+// once. Copies that lose the claim race return immediately — a losing
+// hedge copy is charged to telemetry as hedge-wasted. worker is -1 for
+// inline execution; degraded marks the outcome when the broker fell
+// back to inline execution through a failure path.
+func (t *task) execute(b *Broker, worker int, degraded bool) {
+	t.mu.Lock()
+	if t.claimed {
+		hedgeLoser := t.finished && t.hedged.Load() && worker >= 0
+		t.mu.Unlock()
+		if hedgeLoser {
+			// The winning copy already completed; this copy's slot was the
+			// hedge's wasted work.
+			t.tr.Hedge(b.opt.Label, t.seq, true)
+		}
+		return
+	}
+	t.claimed = true
+	t.mu.Unlock()
+
+	out := search.EvaluateFull(t.ctx, t.p, t.c)
+	out.Degraded = out.Degraded || degraded
+
+	t.mu.Lock()
+	t.out = out
+	t.finished = true
+	t.mu.Unlock()
+	close(t.done)
+
+	if !out.Interrupted() {
+		b.taskCompleted(worker, t.tr)
+	}
+}
+
+// Evaluate submits one evaluation of c on p and blocks until a result is
+// available. It implements the broker's full robustness pipeline; see
+// the package comment. Context cancellation returns an Interrupted
+// outcome immediately (an already-dispatched copy notices t.cancelled
+// and is dropped).
+func (b *Broker) Evaluate(ctx context.Context, p search.Problem, c space.Config) search.Outcome {
+	if err := ctx.Err(); err != nil {
+		return interruptedOutcome(err)
+	}
+	tr := obs.FromContext(ctx)
+	t := &task{
+		p: p, c: c, ctx: ctx, tr: tr,
+		done: make(chan struct{}),
+	}
+
+	b.mu.Lock()
+	t.seq = b.seq
+	b.seq++
+	allQuarantined := b.quarantined >= len(b.workers)
+	b.mu.Unlock()
+
+	if allQuarantined {
+		// Graceful degradation: no healthy worker exists, so evaluate
+		// inline on the caller and mark the outcome.
+		tr.Degraded("broker: all workers quarantined; evaluating inline")
+		t.execute(b, -1, true)
+		return t.outcome()
+	}
+
+	// Liveness recheck: the quarantine check above races with stale
+	// copies of earlier tasks crashing the remaining workers AFTER this
+	// task is enqueued — leaving it in a queue nobody consumes, while
+	// re-admission waits for completed tasks that can never complete.
+	// The submitter therefore re-checks periodically and claims the
+	// task inline (degraded) the moment no healthy worker exists; the
+	// claim guard makes this safe against any copy that already took it.
+	recheck := time.NewTicker(5 * time.Millisecond)
+	defer recheck.Stop()
+
+	// Submission with backpressure.
+	depth := len(b.queue)
+	switch b.opt.Policy {
+	case Shed:
+		select {
+		case b.queue <- t:
+			tr.Enqueue(b.opt.Label, t.seq, depth, "")
+		default:
+			tr.Enqueue(b.opt.Label, t.seq, depth, "shed")
+			t.execute(b, -1, false)
+			return t.outcome()
+		}
+	default: // Block
+	enqueue:
+		for {
+			select {
+			case b.queue <- t:
+				tr.Enqueue(b.opt.Label, t.seq, depth, "")
+				break enqueue
+			case <-ctx.Done():
+				t.cancelled.Store(true)
+				return interruptedOutcome(ctx.Err())
+			case <-b.closed:
+				t.execute(b, -1, false)
+				return t.outcome()
+			case <-recheck.C:
+				if b.allQuarantined() {
+					tr.Degraded("broker: all workers quarantined; evaluating inline")
+					t.execute(b, -1, true)
+					return t.outcome()
+				}
+			}
+		}
+	}
+
+	// Wait for completion, hedging stragglers.
+	var hedge <-chan time.Time
+	if b.opt.HedgeAfter > 0 {
+		timer := time.NewTimer(b.opt.HedgeAfter)
+		defer timer.Stop()
+		hedge = timer.C
+	}
+	for {
+		select {
+		case <-t.done:
+			return t.outcome()
+		case <-ctx.Done():
+			t.cancelled.Store(true)
+			return interruptedOutcome(ctx.Err())
+		case <-b.closed:
+			// Workers are retiring; make sure the task completes. The claim
+			// guard makes this safe against a worker that already took it.
+			t.execute(b, -1, false)
+			select {
+			case <-t.done:
+				return t.outcome()
+			case <-ctx.Done():
+				t.cancelled.Store(true)
+				return interruptedOutcome(ctx.Err())
+			}
+		case <-recheck.C:
+			if b.allQuarantined() {
+				tr.Degraded("broker: all workers quarantined; evaluating inline")
+				t.execute(b, -1, true)
+				// execute either claimed (done is closed) or lost the race to
+				// a copy that did — either way done closes; loop to collect.
+			}
+		case <-hedge:
+			hedge = nil
+			t.hedged.Store(true)
+			tr.Hedge(b.opt.Label, t.seq, false)
+			// Non-blocking re-enqueue: a full queue means every worker is
+			// busy, and a second copy queued behind them could not beat the
+			// original anyway.
+			select {
+			case b.queue <- t:
+			default:
+			}
+		}
+	}
+}
+
+// allQuarantined reports whether no healthy worker remains.
+func (b *Broker) allQuarantined() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.quarantined >= len(b.workers)
+}
+
+// workerLoop is one worker shard's service loop: honor the quarantine
+// gate, then serve queued tasks until shutdown.
+func (b *Broker) workerLoop(w int) {
+	for {
+		if gate := b.gateFor(w); gate != nil {
+			select {
+			case <-gate:
+			case <-b.closed:
+				return
+			}
+			continue // re-check: the gate may have been replaced
+		}
+		select {
+		case <-b.closed:
+			return
+		case t := <-b.queue:
+			b.runTask(w, t)
+		}
+	}
+}
+
+// gateFor returns worker w's quarantine gate, or nil when admitted.
+func (b *Broker) gateFor(w int) chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.workers[w].gate
+}
+
+// runTask runs one dispatch of t on worker w, applying injected faults
+// before the underlying problem is touched: a stall pauses the worker
+// (making hedging observable), a crash panics out to the supervisor.
+// Fault decisions are pure functions of (worker, task, dispatch), so a
+// re-dispatched task rolls fresh faults on its new worker.
+func (b *Broker) runTask(w int, t *task) {
+	if t.cancelled.Load() {
+		return
+	}
+	d := int(t.dispatches.Add(1))
+	if b.opt.Faults != nil {
+		if stall := b.opt.Faults.Stall(w, t.seq, d); stall > 0 {
+			timer := time.NewTimer(stall)
+			select {
+			case <-timer.C:
+			case <-t.ctx.Done():
+				timer.Stop()
+				return
+			case <-b.closed:
+				timer.Stop()
+				return
+			}
+		}
+		if b.opt.Faults.Crash(w, t.seq, d) {
+			panic(workerCrash{worker: w, t: t})
+		}
+	}
+	t.execute(b, w, false)
+}
+
+// onWorkerPanic is the group supervisor: an injected workerCrash trips
+// the worker's breaker, re-dispatches its task, and respawns the loop
+// (the worker re-checks its gate on the way back in). Any other panic is
+// a real bug and propagates.
+func (b *Broker) onWorkerPanic(id int, v any) bool {
+	wc, ok := v.(workerCrash)
+	if !ok {
+		panic(v)
+	}
+	b.workerFailed(wc.worker, wc.t.tr)
+	b.redispatch(wc.t)
+	return true
+}
+
+// workerFailed records one failure on worker w, quarantining it when the
+// consecutive-failure threshold is reached.
+func (b *Broker) workerFailed(w int, tr *obs.Tracer) {
+	b.mu.Lock()
+	ws := &b.workers[w]
+	ws.fails++
+	tripped := ws.fails >= b.opt.BreakerThreshold && ws.gate == nil
+	if tripped {
+		ws.gate = make(chan struct{})
+		ws.readmitAt = b.completed + b.opt.Probation
+		b.quarantined++
+	}
+	b.mu.Unlock()
+	if tripped {
+		tr.Breaker(b.opt.Label, w, "open")
+	}
+}
+
+// redispatch routes a failed dispatch of t: re-enqueue with capped
+// backoff while budget remains and healthy workers exist, else degrade
+// to inline execution right here (the supervisor's goroutine), which
+// guarantees termination.
+func (b *Broker) redispatch(t *task) {
+	if t.cancelled.Load() {
+		return
+	}
+	attempt := int(t.retries.Add(1))
+	b.mu.Lock()
+	allQuarantined := b.quarantined >= len(b.workers)
+	b.mu.Unlock()
+	if attempt > b.opt.Retries || allQuarantined {
+		t.tr.Degraded("broker: retries exhausted or no healthy worker; evaluating inline")
+		t.execute(b, -1, true)
+		return
+	}
+	backoff := b.opt.Backoff << (attempt - 1)
+	if backoff > b.opt.BackoffCap {
+		backoff = b.opt.BackoffCap
+	}
+	t.tr.BrokerRetry(b.opt.Label, t.seq, attempt, backoff.Seconds(), "worker crash")
+	timer := time.NewTimer(backoff)
+	select {
+	case <-timer.C:
+	case <-t.ctx.Done():
+		timer.Stop()
+		return
+	case <-b.closed:
+		timer.Stop()
+		t.execute(b, -1, false)
+		return
+	}
+	// Non-blocking re-enqueue: with the queue full (or all consumers
+	// gone) blocking here could deadlock the supervisor, so fall back to
+	// inline-degraded execution instead.
+	select {
+	case b.queue <- t:
+	default:
+		t.tr.Degraded("broker: queue full on re-dispatch; evaluating inline")
+		t.execute(b, -1, true)
+	}
+}
+
+// taskCompleted advances the probation clock and re-admits quarantined
+// workers whose windows have elapsed. worker -1 (inline execution) still
+// advances the clock — probation counts broker-wide completed tasks, so
+// the breaker's state machine is a function of work done, not of
+// wall-clock time.
+func (b *Broker) taskCompleted(worker int, tr *obs.Tracer) {
+	var reopened []int
+	b.mu.Lock()
+	if worker >= 0 {
+		b.workers[worker].fails = 0
+	}
+	b.completed++
+	for w := range b.workers {
+		ws := &b.workers[w]
+		if ws.gate != nil && b.completed >= ws.readmitAt {
+			close(ws.gate)
+			ws.gate = nil
+			// Half-open re-admission: one more failure re-trips the breaker
+			// immediately.
+			ws.fails = b.opt.BreakerThreshold - 1
+			b.quarantined--
+			reopened = append(reopened, w)
+		}
+	}
+	b.mu.Unlock()
+	for _, w := range reopened {
+		tr.Breaker(b.opt.Label, w, "closed")
+	}
+}

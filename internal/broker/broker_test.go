@@ -1,0 +1,446 @@
+package broker_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/faults"
+	"repro/internal/journal"
+	"repro/internal/journal/crashtest"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/search"
+	"repro/internal/space"
+)
+
+// bowl is the deterministic synthetic problem of the search tests.
+type bowl struct {
+	spc    *space.Space
+	target []int
+}
+
+func newBowl() *bowl {
+	spc := space.New(
+		space.NewIntRange("a", 0, 9),
+		space.NewIntRange("b", 0, 9),
+		space.NewIntRange("c", 0, 9),
+		space.NewIntRange("d", 0, 9),
+	)
+	return &bowl{spc: spc, target: []int{3, 7, 1, 5}}
+}
+
+func (b *bowl) Name() string        { return "bowl" }
+func (b *bowl) Space() *space.Space { return b.spc }
+func (b *bowl) Evaluate(c space.Config) (float64, float64) {
+	d := 0.0
+	for i, t := range b.target {
+		diff := float64(c[i] - t)
+		d += diff * diff
+	}
+	run := 1 + d
+	return run, run + 0.5
+}
+
+// newFaulty layers deterministic evaluation-fault injection and
+// retry/timeout budgets over the bowl, so brokered trials cover failed,
+// retried, and censored records on top of the broker's own worker
+// faults.
+func newFaulty(seed uint64) search.Problem {
+	rates := faults.Rates{CompileFail: 0.08, Crash: 0.1, Hang: 0.05}
+	return search.NewResilient(faults.Wrap(newBowl(), rates, seed),
+		search.ResilientOptions{Retries: 2, Timeout: 120})
+}
+
+// quadModel is the deterministic surrogate of the crashtest harness.
+type quadModel struct{}
+
+func (quadModel) Predict(x []float64) float64 {
+	s := 1.0
+	for i, v := range x {
+		d := v - 0.35
+		s += d * d * float64(i+1)
+	}
+	return s
+}
+
+// deterministicKinds are the event kinds whose emission must be
+// bit-identical between inline and brokered runs. The excluded kinds
+// (enqueue, broker-retry, hedge, breaker, degraded, pool events) are
+// the documented scheduling-dependent family.
+var deterministicKinds = map[obs.Kind]bool{
+	obs.KindSearchStart:  true,
+	obs.KindSearchFinish: true,
+	obs.KindEval:         true,
+	obs.KindSkip:         true,
+	obs.KindCacheHit:     true,
+	obs.KindRetry:        true,
+	obs.KindCensor:       true,
+	obs.KindTimeout:      true,
+	obs.KindFault:        true,
+}
+
+func filterEvents(events []obs.Event) []obs.Event {
+	out := make([]obs.Event, 0, len(events))
+	for _, e := range events {
+		if deterministicKinds[e.Kind] {
+			e.Dur = 0
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// deterministicCounters and deterministicGauges are the metric names
+// that must fold identically; broker.* and pool.* metrics are
+// scheduling-dependent by contract.
+var deterministicCounters = []string{
+	obs.MetricEvals,
+	obs.MetricEvalsPrefix + "ok",
+	obs.MetricEvalsPrefix + "censored",
+	obs.MetricEvalsPrefix + "failed",
+	obs.MetricRetries,
+	obs.MetricSkips,
+	obs.MetricCacheHits,
+	obs.MetricCensorKills,
+	obs.MetricFaults,
+	obs.MetricSearches,
+}
+
+var deterministicGauges = []string{obs.MetricBestRunTime, obs.MetricSearchClock}
+
+type driveFunc func(ctx context.Context, p search.Problem) *search.Result
+
+// run executes drive over p with a memory sink and metrics registry
+// attached; wrap is applied to the problem after construction (identity
+// for inline, broker wrapping for brokered runs).
+func run(drive driveFunc, p search.Problem) (*search.Result, *obs.Registry, []obs.Event) {
+	reg := obs.NewRegistry()
+	mem := &obs.MemorySink{}
+	tr := obs.New(obs.Multi(mem, obs.NewMetricsSink(reg)))
+	ctx := obs.WithTracer(context.Background(), tr)
+	res := drive(ctx, p)
+	return res, reg, mem.Events()
+}
+
+// chaosBroker is the standard fault-injected broker of the invariance
+// tests: worker crashes, stalls long enough to trigger hedging, and a
+// tight breaker, all deterministic per (worker, task, dispatch).
+func chaosBroker(seed int64) *broker.Broker {
+	return broker.New(broker.Options{
+		Workers:          3,
+		Retries:          2,
+		Backoff:          100 * time.Microsecond,
+		HedgeAfter:       2 * time.Millisecond,
+		BreakerThreshold: 3,
+		Probation:        4,
+		Faults: broker.SeededFaults{
+			Seed:      seed,
+			CrashRate: 0.2,
+			StallRate: 0.1,
+			StallFor:  5 * time.Millisecond,
+		},
+	})
+}
+
+// TestBrokerMatchesInline is the headline invariant: a brokered search —
+// with evaluation faults, worker crashes, stalls, hedging, and breaker
+// trips all active — produces the same Result, the same deterministic
+// telemetry counters, and the same deterministic event stream as the
+// inline search, for every algorithm.
+func TestBrokerMatchesInline(t *testing.T) {
+	const seed, nmax = 31, 40
+	algos := []struct {
+		name  string
+		drive driveFunc
+	}{
+		{"RS", func(ctx context.Context, p search.Problem) *search.Result {
+			return search.RS(ctx, p, nmax, rng.New(seed))
+		}},
+		{"SA", func(ctx context.Context, p search.Problem) *search.Result {
+			return search.Drive(ctx, p, search.NewAnneal(p.Space(), rng.NewNamed(seed, "sa"), 0.9), nmax)
+		}},
+		{"GA", func(ctx context.Context, p search.Problem) *search.Result {
+			return search.Drive(ctx, p, search.NewGenetic(p.Space(), rng.NewNamed(seed, "ga"), 8, 0.2), nmax)
+		}},
+		{"PS", func(ctx context.Context, p search.Problem) *search.Result {
+			return search.Drive(ctx, p, search.NewPattern(p.Space(), rng.NewNamed(seed, "ps"), 4), nmax)
+		}},
+		{"RSp", func(ctx context.Context, p search.Problem) *search.Result {
+			return search.RSp(ctx, p, quadModel{},
+				search.RSpOptions{NMax: nmax, PoolSize: 300, DeltaPct: 30},
+				rng.NewNamed(seed, "stream"), rng.NewNamed(seed, "pool"))
+		}},
+		{"RSb", func(ctx context.Context, p search.Problem) *search.Result {
+			return search.RSb(ctx, p, quadModel{},
+				search.RSbOptions{NMax: nmax, PoolSize: 300}, rng.NewNamed(seed, "pool"))
+		}},
+	}
+	for _, alg := range algos {
+		alg := alg
+		t.Run(alg.name, func(t *testing.T) {
+			wantRes, wantReg, wantEvents := run(alg.drive, newFaulty(seed))
+
+			b := chaosBroker(7)
+			gotRes, gotReg, gotEvents := run(alg.drive, b.Problem(newFaulty(seed)))
+			b.Close() // retire workers so every pending telemetry event has landed
+
+			if err := crashtest.Compare(wantRes, gotRes); err != nil {
+				t.Fatalf("brokered result differs from inline: %v", err)
+			}
+			for _, name := range deterministicCounters {
+				if w, g := wantReg.Counter(name).Value(), gotReg.Counter(name).Value(); w != g {
+					t.Errorf("counter %s: inline %d, brokered %d", name, w, g)
+				}
+			}
+			for _, name := range deterministicGauges {
+				if w, g := wantReg.Gauge(name).Value(), gotReg.Gauge(name).Value(); w != g {
+					t.Errorf("gauge %s: inline %v, brokered %v", name, w, g)
+				}
+			}
+			we, ge := filterEvents(wantEvents), filterEvents(gotEvents)
+			if len(we) != len(ge) {
+				t.Fatalf("deterministic event count: inline %d, brokered %d", len(we), len(ge))
+			}
+			for i := range we {
+				if we[i] != ge[i] {
+					t.Fatalf("event %d differs:\ninline:   %+v\nbrokered: %+v", i, we[i], ge[i])
+				}
+			}
+		})
+	}
+}
+
+// stallFirstDispatch stalls only the first dispatch of every task, so
+// the hedge copy always wins and the stalled original always completes
+// afterwards — the double-completion scenario.
+type stallFirstDispatch struct{ d time.Duration }
+
+func (s stallFirstDispatch) Crash(worker, task, dispatch int) bool { return false }
+func (s stallFirstDispatch) Stall(worker, task, dispatch int) time.Duration {
+	if dispatch == 1 {
+		return s.d
+	}
+	return 0
+}
+
+// TestHedgeDoubleCompletion pins the hedged double-completion contract:
+// when both copies of a hedged task finish, exactly one result is used
+// and the loser is charged to telemetry as one hedge-wasted event.
+func TestHedgeDoubleCompletion(t *testing.T) {
+	b := broker.New(broker.Options{
+		Workers:    2,
+		HedgeAfter: 3 * time.Millisecond,
+		Faults:     stallFirstDispatch{d: 60 * time.Millisecond},
+	})
+	reg := obs.NewRegistry()
+	mem := &obs.MemorySink{}
+	ctx := obs.WithTracer(context.Background(), obs.New(obs.Multi(mem, obs.NewMetricsSink(reg))))
+
+	p := newBowl()
+	c := space.Config{3, 7, 1, 5}
+	want := search.EvaluateFull(context.Background(), p, c)
+	got := b.Evaluate(ctx, p, c)
+	if got.RunTime != want.RunTime || got.Cost != want.Cost || got.Status != want.Status {
+		t.Fatalf("hedged outcome differs: got %+v want %+v", got, want)
+	}
+	if got.Degraded {
+		t.Fatalf("hedged outcome marked degraded: %+v", got)
+	}
+
+	// Let the stalled original wake up, lose the claim race, and record
+	// its wasted work; then retire the workers.
+	time.Sleep(150 * time.Millisecond)
+	b.Close()
+
+	hedges := mem.ByKind(obs.KindHedge)
+	var issued, wasted int
+	for _, e := range hedges {
+		if e.Detail == "wasted" {
+			wasted++
+		} else {
+			issued++
+		}
+	}
+	if issued != 1 || wasted != 1 {
+		t.Fatalf("hedge events: %d issued, %d wasted, want 1 and 1 (events: %+v)", issued, wasted, hedges)
+	}
+	if v := reg.Counter(obs.MetricBrokerHedgeWasted).Value(); v != 1 {
+		t.Fatalf("%s = %d, want 1", obs.MetricBrokerHedgeWasted, v)
+	}
+}
+
+// crashAlways crashes every dispatch: with a single worker this drives
+// the full breaker cycle deterministically — open after the threshold,
+// inline degradation while quarantined, half-open re-admission after
+// the task-count probation window, immediate re-trip.
+type crashAlways struct{}
+
+func (crashAlways) Crash(worker, task, dispatch int) bool          { return true }
+func (crashAlways) Stall(worker, task, dispatch int) time.Duration { return 0 }
+
+func TestBreakerQuarantineAndProbation(t *testing.T) {
+	b := broker.New(broker.Options{
+		Workers:          1,
+		Retries:          2,
+		Backoff:          50 * time.Microsecond,
+		BreakerThreshold: 2,
+		Probation:        3,
+		Faults:           crashAlways{},
+	})
+	defer b.Close()
+	reg := obs.NewRegistry()
+	mem := &obs.MemorySink{}
+	ctx := obs.WithTracer(context.Background(), obs.New(obs.Multi(mem, obs.NewMetricsSink(reg))))
+
+	p := newBowl()
+	r := rng.New(5)
+	for i := 0; i < 8; i++ {
+		c := p.Space().Random(r)
+		want := search.EvaluateFull(context.Background(), p, c.Clone())
+		got := b.Evaluate(ctx, p, c)
+		if got.RunTime != want.RunTime || got.Cost != want.Cost || got.Status != want.Status {
+			t.Fatalf("task %d: outcome differs: got %+v want %+v", i, got, want)
+		}
+		if !got.Degraded {
+			t.Fatalf("task %d: expected degraded outcome with every worker crashing, got %+v", i, got)
+		}
+	}
+	b.Close()
+
+	var opens, closes int
+	for _, e := range mem.ByKind(obs.KindBreaker) {
+		switch e.Detail {
+		case "open":
+			opens++
+		case "closed":
+			closes++
+		}
+	}
+	// Deterministic cycle with one worker, threshold 2, probation 3 over 8
+	// tasks: open at task 0, re-admit after 3 completions, re-open on the
+	// next queued task, re-admit again, re-open once more.
+	if opens != 3 || closes != 2 {
+		t.Fatalf("breaker transitions: %d opens, %d closes, want 3 and 2 (events: %+v)",
+			opens, closes, mem.ByKind(obs.KindBreaker))
+	}
+	if v := reg.Counter(obs.MetricBrokerBreakerOpen).Value(); v != 3 {
+		t.Fatalf("%s = %d, want 3", obs.MetricBrokerBreakerOpen, v)
+	}
+}
+
+// stallAll stalls every dispatch, keeping workers busy so backpressure
+// and deadline behavior are observable.
+type stallAll struct{ d time.Duration }
+
+func (s stallAll) Crash(worker, task, dispatch int) bool          { return false }
+func (s stallAll) Stall(worker, task, dispatch int) time.Duration { return s.d }
+
+// TestShedPolicy submits concurrently against a saturated one-worker
+// broker under the Shed policy: overflow tasks run inline (counted as
+// shed), and every submission still completes with a valid result.
+func TestShedPolicy(t *testing.T) {
+	b := broker.New(broker.Options{
+		Workers:    1,
+		QueueDepth: 1,
+		Policy:     broker.Shed,
+		Faults:     stallAll{d: 30 * time.Millisecond},
+	})
+	defer b.Close()
+	reg := obs.NewRegistry()
+	ctx := obs.WithTracer(context.Background(), obs.New(obs.NewMetricsSink(reg)))
+
+	p := newBowl()
+	c := space.Config{1, 2, 3, 4}
+	want := search.EvaluateFull(context.Background(), p, c.Clone())
+
+	const n = 4
+	outs := make([]search.Outcome, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			outs[i] = b.Evaluate(ctx, p, c.Clone())
+			done <- i
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i, out := range outs {
+		if out.RunTime != want.RunTime || out.Cost != want.Cost {
+			t.Fatalf("submission %d: outcome differs: got %+v want %+v", i, out, want)
+		}
+		if out.Degraded {
+			t.Fatalf("submission %d: shed execution must not be marked degraded: %+v", i, out)
+		}
+	}
+	if v := reg.Counter(obs.MetricBrokerShed).Value(); v < 1 {
+		t.Fatalf("%s = %d, want >= 1 with a saturated queue", obs.MetricBrokerShed, v)
+	}
+}
+
+// TestDeadlinePropagation pins that a context deadline cuts a brokered
+// evaluation short with an Interrupted outcome — it never blocks on a
+// stalled worker and never fabricates a record.
+func TestDeadlinePropagation(t *testing.T) {
+	b := broker.New(broker.Options{
+		Workers: 1,
+		Faults:  stallAll{d: 500 * time.Millisecond},
+	})
+	defer b.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	out := b.Evaluate(ctx, newBowl(), space.Config{0, 0, 0, 0})
+	if !out.Interrupted() {
+		t.Fatalf("expected interrupted outcome, got %+v", out)
+	}
+	if el := time.Since(start); el > 300*time.Millisecond {
+		t.Fatalf("deadline did not propagate: evaluation blocked %v", el)
+	}
+}
+
+// TestBrokerJournalReplay proves the journal layer composes with the
+// broker: a journaled brokered run (with in-flight tracking) matches
+// the plain inline search, and interrupted brokered runs resume
+// bit-identically.
+func TestBrokerJournalReplay(t *testing.T) {
+	const seed, nmax = 67, 30
+	b := chaosBroker(11)
+	defer b.Close()
+	trial := crashtest.Trial{
+		NewProblem: func() search.Problem { return b.Problem(newFaulty(seed)) },
+		Plain: func(ctx context.Context) *search.Result {
+			return search.RS(ctx, newFaulty(seed), nmax, rng.New(seed))
+		},
+		Journaled: func(ctx context.Context, dir string, p search.Problem) (*search.Result, *journal.RunInfo, error) {
+			return journal.RunRS(ctx, dir, p, nmax, seed, nil,
+				journal.WrapOptions{CheckpointEvery: 4, TrackInFlight: true})
+		},
+	}
+	n, err := trial.Cancellations(t.TempDir(), 6, 25, 19, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("brokered RS: %d interruption points resumed bit-identical", n)
+}
+
+// BenchmarkBrokerThroughput measures brokered evaluation throughput
+// with healthy workers (no faults), the baseline for BENCH_PR6.json.
+func BenchmarkBrokerThroughput(bm *testing.B) {
+	b := broker.New(broker.Options{Workers: 4})
+	defer b.Close()
+	p := newBowl()
+	c := space.Config{3, 7, 1, 5}
+	ctx := context.Background()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		out := b.Evaluate(ctx, p, c)
+		if out.Status != search.StatusOK {
+			bm.Fatalf("unexpected outcome %+v", out)
+		}
+	}
+}

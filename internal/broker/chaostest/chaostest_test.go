@@ -1,0 +1,81 @@
+package chaostest
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosCampaign runs the randomized worker-kill/stall campaign: 24
+// reproducible trials with randomized broker shapes and fault
+// intensities, each asserting termination and a bit-identical result.
+func TestChaosCampaign(t *testing.T) {
+	const trials = 24
+	for i := 0; i < trials; i++ {
+		i := i
+		tr := RandomTrial(97, i)
+		t.Run(describe(i, tr), func(t *testing.T) {
+			if err := tr.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func describe(i int, tr Trial) string {
+	return "trial-" + string(rune('A'+i%26)) + "-" + tr.describeShort()
+}
+
+func (t Trial) describeShort() string {
+	policy := "block"
+	if t.Policy == 1 {
+		policy = "shed"
+	}
+	hedge := "nohedge"
+	if t.HedgeAfter > 0 {
+		hedge = "hedge"
+	}
+	return policy + "-" + hedge
+}
+
+// TestChaosTotalFailure is the worst case: every dispatch crashes, so
+// every worker is quarantined almost immediately and the entire search
+// must complete through inline degradation — and still match inline.
+func TestChaosTotalFailure(t *testing.T) {
+	tr := Trial{
+		Seed: 301, NMax: 25,
+		Workers: 3, Retries: 1, Breaker: 1, Probation: 2,
+		CrashRate: 1.0,
+	}
+	if err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosStallStorm stalls every dispatch with hedging on: hedge
+// copies race stalled originals on every single task, and the claim
+// guard must keep the result bit-identical.
+func TestChaosStallStorm(t *testing.T) {
+	tr := Trial{
+		Seed: 307, NMax: 25,
+		Workers: 3, Retries: 2,
+		StallRate: 1.0, StallFor: 4 * time.Millisecond,
+		HedgeAfter: time.Millisecond,
+	}
+	if err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosSingleWorkerCrashy pins the tightest failure domain: one
+// worker, high crash rate, aggressive breaker — the degradation path
+// must carry the search whenever the lone worker is quarantined.
+func TestChaosSingleWorkerCrashy(t *testing.T) {
+	tr := Trial{
+		Seed: 311, NMax: 25,
+		Workers: 1, QueueDepth: 1, Retries: 1, Breaker: 1, Probation: 4,
+		CrashRate: 0.6,
+	}
+	if err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package broker
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Faults injects per-worker failures into the broker's dispatch path.
+// Decisions must be pure functions of (worker, task, dispatch) — no
+// shared mutable state — so the same logical dispatch always rolls the
+// same fault no matter when or on which goroutine it is asked. That
+// purity is what lets TestBrokerMatchesInline run with faults enabled:
+// a fault can move a task between workers but never changes the
+// evaluation itself.
+//
+// These are broker-path faults (a worker process crashing or
+// straggling), distinct from internal/faults which injects evaluation
+// failures (compile errors, run crashes) into the simulated measurement
+// and charges the search clock. The two compose: a brokered Resilient
+// problem sees both.
+type Faults interface {
+	// Crash reports whether dispatch d of task on worker should crash the
+	// worker (panic, recovered by the supervisor, task re-dispatched).
+	Crash(worker, task, dispatch int) bool
+	// Stall returns a pause injected before dispatch d of task runs on
+	// worker (0 = none). Long stalls make hedging observable.
+	Stall(worker, task, dispatch int) time.Duration
+}
+
+// SeededFaults derives crash/stall decisions from named rng streams, the
+// same substream discipline as internal/faults: every (worker, task,
+// dispatch) triple gets its own stream keyed by the seed, so trials are
+// reproducible and independent.
+type SeededFaults struct {
+	Seed      int64
+	CrashRate float64
+	StallRate float64
+	// StallFor is the injected pause for stalled dispatches (default 1ms
+	// when StallRate > 0).
+	StallFor time.Duration
+}
+
+func (f SeededFaults) roll(tag string, worker, task, dispatch int) float64 {
+	key := fmt.Sprintf("broker|%d|%s|%d|%d|%d", f.Seed, tag, worker, task, dispatch)
+	return rng.New(rng.Hash64(key)).Float64()
+}
+
+// Crash implements Faults.
+func (f SeededFaults) Crash(worker, task, dispatch int) bool {
+	if f.CrashRate <= 0 {
+		return false
+	}
+	return f.roll("crash", worker, task, dispatch) < f.CrashRate
+}
+
+// Stall implements Faults.
+func (f SeededFaults) Stall(worker, task, dispatch int) time.Duration {
+	if f.StallRate <= 0 {
+		return 0
+	}
+	if f.roll("stall", worker, task, dispatch) >= f.StallRate {
+		return 0
+	}
+	if f.StallFor > 0 {
+		return f.StallFor
+	}
+	return time.Millisecond
+}

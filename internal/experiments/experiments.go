@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/broker"
 	"repro/internal/core"
 	"repro/internal/forest"
 	"repro/internal/kernels"
@@ -52,6 +54,15 @@ type Config struct {
 	// rng streams derived from its own seed, so parallel output is
 	// bit-identical to serial output (asserted by TestParallelMatchesSerial).
 	Workers int
+	// BrokerWorkers > 0 routes every evaluation through one shared
+	// fault-tolerant broker with that many worker shards. Reports are
+	// broker-invariant for the same reason they are workers-invariant:
+	// the broker moves evaluations between workers without changing what
+	// they return (asserted by TestBrokerMatchesDirect).
+	BrokerWorkers int
+	// BrokerHedgeAfter enables hedged re-dispatch of straggling
+	// evaluations after this delay (0 disables; needs BrokerWorkers > 0).
+	BrokerHedgeAfter time.Duration
 }
 
 // WithDefaults fills unset fields with the paper's settings.
@@ -148,7 +159,15 @@ func Run(ctx context.Context, id string, cfg Config) (*Report, error) {
 	reg := obs.NewRegistry()
 	sink := obs.Multi(obs.NewMetricsSink(reg), obs.FromContext(ctx).Sink())
 	ctx = obs.WithTracer(ctx, obs.New(sink))
-	rep, err := e.run(ctx, cfg.WithDefaults())
+	cfg = cfg.WithDefaults()
+	// One broker serves every cell of the experiment; problemFor wraps
+	// each problem it builds with whatever broker rides the context.
+	if cfg.BrokerWorkers > 0 {
+		b := broker.New(broker.Options{Workers: cfg.BrokerWorkers, HedgeAfter: cfg.BrokerHedgeAfter})
+		defer b.Close()
+		ctx = broker.Into(ctx, b)
+	}
+	rep, err := e.run(ctx, cfg)
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, fmt.Errorf("experiments: %s interrupted: %w", id, cerr)
 	}
@@ -165,13 +184,14 @@ func Run(ctx context.Context, id string, cfg Config) (*Report, error) {
 // problemFor builds the search problem for a named workload on a machine.
 // Kernels run under the given compiler and thread count; the mini-apps
 // (HPL, RT) are compiler-independent at this level, as in the paper's
-// OpenTuner setup.
-func problemFor(name string, m machine.Machine, comp machine.Compiler, threads int) (search.Problem, error) {
+// OpenTuner setup. When a broker rides the context (Config.BrokerWorkers
+// > 0), the problem is wrapped so its evaluations run through it.
+func problemFor(ctx context.Context, name string, m machine.Machine, comp machine.Compiler, threads int) (search.Problem, error) {
 	switch name {
 	case "HPL":
-		return miniapps.NewProblem(miniapps.HPL(), m), nil
+		return broker.Wrap(ctx, miniapps.NewProblem(miniapps.HPL(), m)), nil
 	case "RT":
-		return miniapps.NewProblem(miniapps.RT(), m), nil
+		return broker.Wrap(ctx, miniapps.NewProblem(miniapps.RT(), m)), nil
 	default:
 		k, err := kernels.ByName(name)
 		if err != nil {
@@ -181,7 +201,7 @@ func problemFor(name string, m machine.Machine, comp machine.Compiler, threads i
 		// The OpenMP-based experiments (Figure 5, Table V) hold the
 		// pragmas fixed outside the search.
 		p.ForceOMP = threads > 1
-		return p, nil
+		return broker.Wrap(ctx, p), nil
 	}
 }
 

@@ -111,11 +111,11 @@ func transferFigure(ctx context.Context, cfg Config, workloads []string,
 	outs := make([]*core.Outcome, len(workloads))
 	err := runCells(ctx, cfg, "transfer-figure", len(workloads), func(ctx context.Context, i int) error {
 		wl := workloads[i]
-		src, err := problemFor(wl, srcM, comp, srcThreads)
+		src, err := problemFor(ctx, wl, srcM, comp, srcThreads)
 		if err != nil {
 			return err
 		}
-		tgt, err := problemFor(wl, tgtM, comp, tgtThreads)
+		tgt, err := problemFor(ctx, wl, tgtM, comp, tgtThreads)
 		if err != nil {
 			return err
 		}

@@ -136,3 +136,63 @@ func TestRunCellsReplaysEventsInInputOrder(t *testing.T) {
 		t.Fatalf("parent sink saw %d worker-task events, want %d", got, n)
 	}
 }
+
+// stripBroker drops broker.* metric lines from a snapshot: the broker
+// adds its own queue/dispatch telemetry, which a direct run does not
+// have, and whose depth/retry statistics are scheduling-dependent.
+// Everything else must match a direct run exactly.
+func stripBroker(snapshot string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(snapshot, "\n") {
+		if strings.Contains(line, "broker.") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestBrokerMatchesDirect is the broker counterpart of
+// TestParallelMatchesSerial: for every experiment, routing evaluations
+// through the fault-tolerant broker produces output bit-identical to
+// evaluating inline — same report text, tables, named values, and the
+// same search telemetry (the broker contributes only its own broker.*
+// queue metrics on top).
+func TestBrokerMatchesDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	cfg := Config{Seed: 9, NMax: 12, PoolSize: 200, Trees: 10, CorrelationSamples: 30}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			direct, brokered := cfg, cfg
+			brokered.BrokerWorkers = 3
+			want, err := Run(context.Background(), id, direct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(context.Background(), id, brokered)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Text != want.Text {
+				t.Errorf("report text differs between brokered and direct:\n--- direct ---\n%s\n--- brokered ---\n%s",
+					want.Text, got.Text)
+			}
+			if len(got.Values) != len(want.Values) {
+				t.Fatalf("value count differs: brokered has %d, direct has %d", len(got.Values), len(want.Values))
+			}
+			for name, w := range want.Values {
+				if g, ok := got.Values[name]; !ok || g != w {
+					t.Errorf("value %q differs: brokered %v, direct %v", name, g, w)
+				}
+			}
+			if g, w := stripBroker(stripWallTime(got.Metrics)), stripBroker(stripWallTime(want.Metrics)); g != w {
+				t.Errorf("telemetry counters differ:\n--- direct ---\n%s\n--- brokered ---\n%s", w, g)
+			}
+		})
+	}
+}

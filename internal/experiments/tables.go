@@ -111,11 +111,11 @@ func speedupGrid(ctx context.Context, cfg Config, workloads []string, sources, t
 		job := jobs[i]
 		srcM, _ := machine.ByName(job.src)
 		tgtM, _ := machine.ByName(job.tgt)
-		src, err := problemFor(job.wl, srcM, comp, threadsFor(srcM))
+		src, err := problemFor(ctx, job.wl, srcM, comp, threadsFor(srcM))
 		if err != nil {
 			return err
 		}
-		tgt, err := problemFor(job.wl, tgtM, comp, threadsFor(tgtM))
+		tgt, err := problemFor(ctx, job.wl, tgtM, comp, threadsFor(tgtM))
 		if err != nil {
 			return err
 		}

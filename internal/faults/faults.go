@@ -53,7 +53,45 @@ type Rates struct {
 	NoiseSigma float64
 }
 
+// maxFailureTotal caps the combined failure mass. Probabilities summing
+// to 1 (or beyond) would make every evaluation fail, so validation
+// rescales anything above this bound.
+const maxFailureTotal = 0.999
+
+// Normalize returns a copy of r with every rate forced into valid
+// probability range, plus a description of each correction applied (for
+// an obs warning event). Negative rates clamp to zero; a failure total
+// above maxFailureTotal rescales compile/crash/hang proportionally; a
+// NoiseTail above 1 clamps to 1.
+func (r Rates) Normalize() (Rates, []string) {
+	var warnings []string
+	clamp := func(name string, v *float64) {
+		if *v < 0 {
+			warnings = append(warnings, fmt.Sprintf("%s rate %g < 0 clamped to 0", name, *v))
+			*v = 0
+		}
+	}
+	clamp("compile-fail", &r.CompileFail)
+	clamp("crash", &r.Crash)
+	clamp("hang", &r.Hang)
+	clamp("noise-tail", &r.NoiseTail)
+	if total := r.FailureTotal(); total > maxFailureTotal {
+		f := maxFailureTotal / total
+		warnings = append(warnings, fmt.Sprintf(
+			"failure total %g > %g rescaled by %g", total, maxFailureTotal, f))
+		r.CompileFail *= f
+		r.Crash *= f
+		r.Hang *= f
+	}
+	if r.NoiseTail > 1 {
+		warnings = append(warnings, fmt.Sprintf("noise-tail rate %g > 1 clamped to 1", r.NoiseTail))
+		r.NoiseTail = 1
+	}
+	return r, warnings
+}
+
 func (r Rates) withDefaults() Rates {
+	r, _ = r.Normalize()
 	if r.HangFactor <= 1 {
 		r.HangFactor = 50
 	}
@@ -71,12 +109,18 @@ func (r Rates) FailureTotal() float64 { return r.CompileFail + r.Crash + r.Hang 
 // ScaledTo returns a copy whose FailureTotal equals total, preserving
 // the proportions between compile failures, crashes, and hangs (and
 // scaling the noise tail by the same factor). A profile with zero mass
-// scales from an even split.
+// scales from an even split. Inputs are validated: negative rates in r
+// are clamped before scaling, a negative total behaves like 0, and a
+// total above maxFailureTotal is capped there — so the result always
+// carries in-range probabilities.
 func (r Rates) ScaledTo(total float64) Rates {
-	r = r.withDefaults()
+	r = r.withDefaults() // withDefaults normalizes negative rates away
 	if total <= 0 {
 		r.CompileFail, r.Crash, r.Hang, r.NoiseTail = 0, 0, 0, 0
 		return r
+	}
+	if total > maxFailureTotal {
+		total = maxFailureTotal
 	}
 	cur := r.FailureTotal()
 	if cur <= 0 {
@@ -88,6 +132,9 @@ func (r Rates) ScaledTo(total float64) Rates {
 	r.Crash *= f
 	r.Hang *= f
 	r.NoiseTail *= f
+	if r.NoiseTail > 1 {
+		r.NoiseTail = 1
+	}
 	return r
 }
 
@@ -158,14 +205,25 @@ type Injector struct {
 	// rolls differ across retries while staying deterministic.
 	attempts map[string]int
 	counts   map[string]int
+	warnings []string
 }
 
 // Wrap builds an injector around p with the given rates and seed.
+// Out-of-range rates are corrected (see Rates.Normalize); the applied
+// corrections are available from Warnings so callers can surface them
+// as obs warning events.
 func Wrap(p search.Problem, rates Rates, seed uint64) *Injector {
+	norm, warnings := rates.Normalize()
 	return &Injector{
-		p: p, rates: rates.withDefaults(), seed: seed,
+		p: p, rates: norm.withDefaults(), seed: seed, warnings: warnings,
 		attempts: map[string]int{}, counts: map[string]int{},
 	}
+}
+
+// Warnings returns the rate corrections applied at Wrap time (empty for
+// in-range rates).
+func (in *Injector) Warnings() []string {
+	return append([]string(nil), in.warnings...)
 }
 
 // Name implements search.FallibleProblem. The injector keeps the wrapped

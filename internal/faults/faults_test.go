@@ -209,3 +209,95 @@ func TestInjectedCountsAndUnwrap(t *testing.T) {
 		t.Fatal("injector does not preserve problem identity")
 	}
 }
+
+// TestNormalizeClampsNegatives: negative rates are invalid probability
+// mass; Normalize clamps each to zero and reports a warning per field.
+func TestNormalizeClampsNegatives(t *testing.T) {
+	r, warns := Rates{CompileFail: -0.1, Crash: -1, Hang: 0.2, NoiseTail: -0.5}.Normalize()
+	if r.CompileFail != 0 || r.Crash != 0 || r.NoiseTail != 0 {
+		t.Fatalf("negative rates not clamped: %+v", r)
+	}
+	if r.Hang != 0.2 {
+		t.Fatalf("valid rate changed: hang = %g, want 0.2", r.Hang)
+	}
+	if len(warns) != 3 {
+		t.Fatalf("got %d warnings, want 3: %v", len(warns), warns)
+	}
+}
+
+// TestNormalizeRescalesOverfullTotal: failure mass above the cap is
+// rescaled proportionally so the profile stays a valid distribution
+// while preserving the compile/crash/hang ratios.
+func TestNormalizeRescalesOverfullTotal(t *testing.T) {
+	r, warns := Rates{CompileFail: 0.9, Crash: 0.45, Hang: 0.15}.Normalize()
+	if total := r.FailureTotal(); math.Abs(total-0.999) > 1e-12 {
+		t.Fatalf("rescaled total = %g, want 0.999", total)
+	}
+	if math.Abs(r.CompileFail/r.Crash-2) > 1e-12 || math.Abs(r.Crash/r.Hang-3) > 1e-12 {
+		t.Fatalf("rescaling broke proportions: %+v", r)
+	}
+	if len(warns) != 1 {
+		t.Fatalf("got %d warnings, want 1: %v", len(warns), warns)
+	}
+}
+
+// TestNormalizeClampsNoiseTail: a noise-tail probability above 1 is
+// clamped with a warning; an in-range profile passes through untouched.
+func TestNormalizeClampsNoiseTail(t *testing.T) {
+	r, warns := Rates{NoiseTail: 1.7}.Normalize()
+	if r.NoiseTail != 1 || len(warns) != 1 {
+		t.Fatalf("got %+v with %v, want NoiseTail 1 and one warning", r, warns)
+	}
+	clean := Rates{CompileFail: 0.05, Crash: 0.02, Hang: 0.01, NoiseTail: 0.1}
+	if got, warns := clean.Normalize(); got != clean || len(warns) != 0 {
+		t.Fatalf("clean profile changed: %+v, warnings %v", got, warns)
+	}
+}
+
+// TestScaledToValidatesInputs pins the repaired edge cases: negative
+// component rates are clamped before scaling, a negative target behaves
+// like zero, and a target above the cap is capped — the result is
+// always an in-range probability profile.
+func TestScaledToValidatesInputs(t *testing.T) {
+	// Negative input rate: clamped away, remaining mass carries the
+	// whole target.
+	r := Rates{CompileFail: -0.3, Crash: 0.1}.ScaledTo(0.2)
+	if r.CompileFail != 0 || math.Abs(r.Crash-0.2) > 1e-12 {
+		t.Fatalf("negative rate leaked into scaling: %+v", r)
+	}
+
+	// Negative target: all mass removed.
+	r = Rates{CompileFail: 0.1, Crash: 0.1, NoiseTail: 0.2}.ScaledTo(-1)
+	if r.FailureTotal() != 0 || r.NoiseTail != 0 {
+		t.Fatalf("negative target left mass behind: %+v", r)
+	}
+
+	// Overfull target: capped at the maximum admissible total.
+	r = Rates{CompileFail: 0.5, Crash: 0.5}.ScaledTo(3)
+	if total := r.FailureTotal(); math.Abs(total-0.999) > 1e-12 {
+		t.Fatalf("overfull target not capped: total = %g", total)
+	}
+
+	// NoiseTail scales with the same factor but never above 1.
+	r = Rates{CompileFail: 0.1, NoiseTail: 0.2}.ScaledTo(0.9)
+	if r.NoiseTail != 1 {
+		t.Fatalf("noise tail not clamped after scaling: %+v", r)
+	}
+}
+
+// TestWrapSurfacesWarnings: an injector built from an out-of-range
+// profile normalizes it and keeps the warnings for the caller to log.
+func TestWrapSurfacesWarnings(t *testing.T) {
+	inj := Wrap(newFake(), Rates{CompileFail: -0.2, Crash: 1.5, Hang: 0.5}, 3)
+	warns := inj.Warnings()
+	if len(warns) != 2 {
+		t.Fatalf("got %d warnings, want 2 (negative clamp + rescale): %v", len(warns), warns)
+	}
+	if inj.Rates().FailureTotal() > 0.999+1e-12 {
+		t.Fatalf("injector kept an overfull profile: %+v", inj.Rates())
+	}
+	clean := Wrap(newFake(), Rates{CompileFail: 0.05}, 3)
+	if len(clean.Warnings()) != 0 {
+		t.Fatalf("clean profile produced warnings: %v", clean.Warnings())
+	}
+}

@@ -116,11 +116,12 @@ type Checkpoint struct {
 
 // Session is an open journal directory.
 type Session struct {
-	dir     string
-	log     *logFile
-	meta    Meta
-	entries []Entry
-	cp      *Checkpoint
+	dir      string
+	log      *logFile
+	meta     Meta
+	entries  []Entry
+	cp       *Checkpoint
+	inflight *InFlight
 }
 
 // The files of a journal directory, exported so tooling (the crash
@@ -205,6 +206,7 @@ func Open(dir string) (*Session, error) {
 		s.entries = append(s.entries, e)
 	}
 	s.cp = s.loadCheckpoint()
+	s.inflight = s.loadInFlight()
 	return s, nil
 }
 

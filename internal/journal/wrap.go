@@ -31,6 +31,12 @@ type WrapOptions struct {
 	// the search replays from the beginning and the wrapper serves the
 	// whole journaled prefix.
 	Cursor int
+	// TrackInFlight durably marks each live evaluation before it is
+	// dispatched (see Session.MarkInFlight), so a crash mid-evaluation
+	// leaves a marker the resume verifies against its deterministic
+	// replay. Meant for brokered runs, where an evaluation can be in a
+	// worker's hands when the process dies.
+	TrackInFlight bool
 }
 
 func (o WrapOptions) withDefaults() WrapOptions {
@@ -131,6 +137,23 @@ func (w *Recorder) EvaluateFull(ctx context.Context, c space.Config) search.Outc
 		}
 	}
 
+	if w.opts.TrackInFlight {
+		// A recovered marker at this index is the evaluation the crashed
+		// process had dispatched: the deterministic replay must request
+		// the identical configuration, or the resume diverged.
+		if inf, ok := w.s.InFlight(); ok && inf.Index == w.idx {
+			if space.Config(inf.Config).Key() != c.Key() {
+				return w.abort(fmt.Errorf(
+					"journal: in-flight replay diverged at entry %d: marker has %v, search requested %v "+
+						"(journal was recorded under different semantics): %w",
+					w.idx, inf.Config, []int(c), search.ErrAborted))
+			}
+		}
+		if err := w.s.MarkInFlight(w.idx, c); err != nil {
+			return w.abort(fmt.Errorf("%v: %w", err, search.ErrAborted))
+		}
+	}
+
 	out := search.EvaluateFull(ctx, w.p, c)
 	if out.Interrupted() {
 		return out
@@ -180,6 +203,9 @@ type RunInfo struct {
 	// FastPath is true when a fresh checkpoint let RS continue directly
 	// from restored RNG state instead of replaying the prefix.
 	FastPath bool
+	// InFlight is true when the resumed journal carried a live in-flight
+	// marker: the prior process died while an evaluation was dispatched.
+	InFlight bool
 	// Done is true when the search ran to its natural end (budget or
 	// space exhausted) rather than being interrupted.
 	Done bool
@@ -317,7 +343,11 @@ func openOrCreate(dir string, meta Meta) (*Session, *RunInfo, error) {
 			_ = s.Close()
 			return nil, nil, err
 		}
-		return s, &RunInfo{Resumed: true, Prior: s.Len()}, nil
+		info := &RunInfo{Resumed: true, Prior: s.Len()}
+		if _, ok := s.InFlight(); ok {
+			info.InFlight = true
+		}
+		return s, info, nil
 	}
 	s, err := Create(dir, meta)
 	if err != nil {
@@ -331,6 +361,11 @@ func openOrCreate(dir string, meta Meta) (*Session, *RunInfo, error) {
 // enabling the fast path) when it was interrupted.
 func finalize(ctx context.Context, s *Session, w *Recorder, res *search.Result, info *RunInfo) (*search.Result, *RunInfo, error) {
 	if err := w.Err(); err != nil {
+		return nil, info, err
+	}
+	// The run is stopping in an orderly way: nothing is in flight
+	// anymore, so the marker must not survive into the next resume.
+	if err := s.ClearInFlight(); err != nil {
 		return nil, info, err
 	}
 	info.Done = ctx.Err() == nil

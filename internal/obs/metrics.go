@@ -239,6 +239,17 @@ const (
 	MetricPoolTasks      = "pool.tasks"
 	MetricPoolTaskMillis = "pool.task.ms"
 	MetricWarnings       = "warnings"
+
+	// Broker metrics. All of these describe the harness's scheduling and
+	// fault recovery — they are expected to differ between runs of the
+	// same seed, unlike the evals.* family.
+	MetricBrokerSubmits     = "broker.submits"
+	MetricBrokerDepth       = "broker.queue-depth"
+	MetricBrokerRetries     = "broker.retries"
+	MetricBrokerHedges      = "broker.hedges"
+	MetricBrokerHedgeWasted = "broker.hedge-wasted"
+	MetricBrokerBreakerOpen = "broker.breaker-opens"
+	MetricBrokerShed        = "broker.shed"
 )
 
 // MetricsSink folds trace events into a Registry: evaluation counts by
@@ -319,5 +330,24 @@ func (m *MetricsSink) Emit(e Event) {
 			[]float64{1, 5, 10, 50, 100, 500, 1000, 5000}).Observe(float64(e.Dur) / float64(time.Millisecond))
 	case KindWarning:
 		m.reg.Counter(MetricWarnings).Inc()
+	case KindEnqueue:
+		m.reg.Counter(MetricBrokerSubmits).Inc()
+		m.reg.Histogram(MetricBrokerDepth,
+			[]float64{0, 1, 2, 4, 8, 16, 32, 64}).Observe(float64(e.N))
+		if e.Detail == "shed" {
+			m.reg.Counter(MetricBrokerShed).Inc()
+		}
+	case KindBrokerRetry:
+		m.reg.Counter(MetricBrokerRetries).Inc()
+	case KindHedge:
+		if e.Detail == "wasted" {
+			m.reg.Counter(MetricBrokerHedgeWasted).Inc()
+		} else {
+			m.reg.Counter(MetricBrokerHedges).Inc()
+		}
+	case KindBreaker:
+		if e.Detail == "open" {
+			m.reg.Counter(MetricBrokerBreakerOpen).Inc()
+		}
 	}
 }

@@ -84,6 +84,27 @@ const (
 	// KindWarning is a non-fatal configuration or usage problem the system
 	// corrected (e.g. an out-of-range parameter replaced by its default).
 	KindWarning
+	// KindEnqueue is one task submitted to the evaluation broker: Seq is
+	// the task sequence number, N the queue depth observed at submission,
+	// Detail "shed" when the backpressure policy rejected the enqueue and
+	// the task ran inline instead. Queue depth is scheduling-dependent
+	// (like KindWorkerTask): it describes the harness, never the result.
+	KindEnqueue
+	// KindBrokerRetry is one broker-level re-dispatch after a worker
+	// failure: Seq is the task, N the dispatch attempt, Cost the backoff
+	// wall pause in seconds. Broker retries are worker-fault recovery —
+	// distinct from KindRetry, which charges the simulated search clock.
+	KindBrokerRetry
+	// KindHedge is one hedged re-dispatch of a straggling task: Seq is the
+	// task; Detail "wasted" marks the losing copy completing after the
+	// winner (its work is charged to telemetry, its result discarded).
+	// Hedge events depend on wall-clock straggler detection and are
+	// scheduling-dependent, like KindWorkerTask.
+	KindHedge
+	// KindBreaker is one circuit-breaker transition: N is the worker,
+	// Detail "open" (quarantined) or "closed" (re-admitted after its
+	// task-count probation window).
+	KindBreaker
 )
 
 var kindNames = map[Kind]string{
@@ -105,6 +126,10 @@ var kindNames = map[Kind]string{
 	KindWorkerTask:    "worker-task",
 	KindPoolFinish:    "pool-finish",
 	KindWarning:       "warning",
+	KindEnqueue:       "enqueue",
+	KindBrokerRetry:   "broker-retry",
+	KindHedge:         "hedge",
+	KindBreaker:       "breaker",
 }
 
 // String names the kind as it appears in traces.
@@ -512,6 +537,52 @@ func (t *Tracer) Degraded(detail string) {
 		return
 	}
 	t.sink.Emit(Event{Kind: KindDegraded, Seq: -1, Detail: detail})
+}
+
+// Enqueue records one task submitted to the evaluation broker: seq is
+// the task sequence, depth the queue depth observed at submission.
+// detail is "" for an accepted enqueue, "shed" when backpressure
+// rejected it and the task ran inline.
+func (t *Tracer) Enqueue(label string, seq, depth int, detail string) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindEnqueue, Seq: seq, Algo: label, N: depth, Detail: detail})
+}
+
+// BrokerRetry records one broker-level re-dispatch of task seq after a
+// worker failure: attempt is the dispatch attempt, backoff the wall
+// pause (seconds) before re-enqueue.
+func (t *Tracer) BrokerRetry(label string, seq, attempt int, backoff float64, detail string) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{
+		Kind: KindBrokerRetry, Seq: seq, Algo: label,
+		N: attempt, Cost: backoff, Detail: detail,
+	})
+}
+
+// Hedge records a hedged re-dispatch of straggling task seq. wasted
+// marks the losing copy completing after the winner.
+func (t *Tracer) Hedge(label string, seq int, wasted bool) {
+	if !t.Enabled() {
+		return
+	}
+	e := Event{Kind: KindHedge, Seq: seq, Algo: label}
+	if wasted {
+		e.Detail = "wasted"
+	}
+	t.sink.Emit(e)
+}
+
+// Breaker records a circuit-breaker transition for the given worker:
+// state is "open" (quarantined) or "closed" (re-admitted).
+func (t *Tracer) Breaker(label string, worker int, state string) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindBreaker, Seq: -1, Algo: label, N: worker, Detail: state})
 }
 
 // ctxKey keys the tracer in a context.

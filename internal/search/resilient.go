@@ -82,6 +82,13 @@ type Outcome struct {
 	Retries int
 	// Err is the final attempt's error for failed outcomes, nil otherwise.
 	Err error
+	// Degraded marks an outcome produced through a graceful-degradation
+	// path (e.g. the evaluation broker falling back to inline execution
+	// after quarantining every worker). The measurement itself is
+	// untouched — degradation changes where the evaluation ran, never
+	// what it returned — so Records deliberately do not carry the flag
+	// and degraded runs stay bit-identical to healthy ones.
+	Degraded bool
 }
 
 // ErrAborted marks an evaluator-initiated abort: the evaluation layer

@@ -258,3 +258,72 @@ func TestStatusRoundTrip(t *testing.T) {
 		t.Fatalf("censored-with-retries label = %q", censored.StatusLabel())
 	}
 }
+
+// cancellingFallible fails transiently on every attempt and cancels the
+// context from inside attempt number `after` — modelling a shutdown that
+// lands while the evaluator is mid-retry.
+type cancellingFallible struct {
+	spc    *space.Space
+	cancel context.CancelFunc
+	after  int
+	calls  int
+}
+
+func (p *cancellingFallible) Name() string        { return "cancelling@test" }
+func (p *cancellingFallible) Space() *space.Space { return p.spc }
+func (p *cancellingFallible) TryEvaluate(c space.Config) (float64, float64, error) {
+	p.calls++
+	if p.calls >= p.after {
+		p.cancel()
+	}
+	return 0, 0.5, Transient(errors.New("transient"))
+}
+
+// TestResilientCancellationMidRetryAccounting pins the backoff
+// accounting of an evaluation cut short between retries: the outcome is
+// Interrupted (never recorded), and its Cost is exactly the attempts
+// plus backoffs charged before the cancellation was observed — here
+// 0.5 + 1 (backoff 2^0) + 0.5 + 2 (backoff 2^1) = 4.
+func TestResilientCancellationMidRetryAccounting(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := &cancellingFallible{
+		spc:    space.New(space.NewIntRange("x", 0, 9)),
+		cancel: cancel,
+		after:  2,
+	}
+	r := NewResilient(p, ResilientOptions{Retries: 3, Backoff: 1})
+	out := r.EvaluateFull(ctx, cfg(3))
+
+	if !out.Interrupted() {
+		t.Fatalf("outcome not interrupted: %+v", out)
+	}
+	if !errors.Is(out.Err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", out.Err)
+	}
+	if out.Cost != 4 {
+		t.Fatalf("cost = %v, want 4 (two 0.5 attempts plus backoffs 1 and 2)", out.Cost)
+	}
+	if !math.IsInf(out.RunTime, 1) || out.Status != StatusFailed {
+		t.Fatalf("interrupted outcome carries (%v,%v), want (+Inf,failed)", out.RunTime, out.Status)
+	}
+	if p.calls != 2 {
+		t.Fatalf("problem saw %d attempts, want 2 (no attempt after cancellation)", p.calls)
+	}
+}
+
+// TestResilientCancellationBeforeFirstAttempt: a context already
+// cancelled charges nothing and never touches the problem.
+func TestResilientCancellationBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := &cancellingFallible{spc: space.New(space.NewIntRange("x", 0, 9)), cancel: func() {}, after: 99}
+	r := NewResilient(p, ResilientOptions{Retries: 2, Backoff: 1})
+	out := r.EvaluateFull(ctx, cfg(1))
+	if !out.Interrupted() || out.Cost != 0 {
+		t.Fatalf("got %+v, want interrupted with zero cost", out)
+	}
+	if p.calls != 0 {
+		t.Fatalf("problem saw %d attempts, want 0", p.calls)
+	}
+}
