@@ -38,15 +38,19 @@ crashtest:
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkExperimentCell' -benchtime 2x . | tee bench-parallel.txt
 
-# bench-json runs the broker benchmark suite — broker dispatch
-# throughput, end-to-end RSp/RSb inline vs brokered, and forest batched
-# prediction — and converts the combined output into BENCH_PR6.json
-# (CI uploads it). bench-raw.txt keeps the raw `go test -bench` lines.
+# bench-json runs the broker benchmark suite — in-process broker
+# dispatch throughput, remote loopback dispatch (framing + heartbeat +
+# lease overhead per evaluation), end-to-end RSp/RSb inline vs
+# brokered, and forest batched prediction — and converts the combined
+# output into BENCH_PR7.json (committed as the PR's trajectory point;
+# CI regenerates and uploads it). bench-raw.txt keeps the raw
+# `go test -bench` lines.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkBrokerThroughput' -benchtime 2x ./internal/broker/ > bench-raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkRemoteDispatch' -benchtime 2x ./internal/broker/remote/ >> bench-raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkEndToEndRS[pb]' -benchtime 2x . >> bench-raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkForestPredict' -benchtime 2x ./internal/forest/ >> bench-raw.txt
-	$(GO) run ./cmd/benchjson -o BENCH_PR6.json < bench-raw.txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR7.json < bench-raw.txt
 
 # broker-chaos runs the broker suite and its randomized chaos campaign
 # under the race detector, verbosely (CI uploads the log on failure).

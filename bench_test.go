@@ -375,8 +375,9 @@ func BenchmarkTelemetryRSpScoring(b *testing.B) {
 // (RSp, RSb) run inline and through the fault-tolerant broker. Results
 // are bit-identical either way (TestBrokerMatchesInline); the delta
 // measured here is the broker's dispatch overhead. `make bench-json`
-// collects these plus BenchmarkBrokerThroughput and
-// BenchmarkForestPredict into BENCH_PR6.json.
+// collects these plus BenchmarkBrokerThroughput,
+// BenchmarkRemoteDispatch, and BenchmarkForestPredict into
+// BENCH_PR7.json.
 
 // benchSurrogate fits a small transfer surrogate once: T_a collected by
 // RS on Sandybridge, forest fitted on it, searches run on Westmere.

@@ -7,6 +7,7 @@
 //	         [-threads 1] [-algo rs|sa|ga|ps|ensemble] [-nmax 100] [-seed 42]
 //	         [-faults 0.3] [-retries 2] [-timeout 30] [-workers N]
 //	         [-broker] [-broker-workers N] [-hedge-after 50ms]
+//	         [-broker-remote -workers-addr unix:/tmp/tune.sock]
 //	         [-journal DIR] [-resume DIR] [-throttle 50ms]
 //	         [-trace FILE] [-progress] [-metrics]
 //	         [-cpuprofile FILE] [-memprofile FILE]
@@ -48,6 +49,15 @@
 // brokered runs also journal the evaluation in flight, and the journal
 // resumes with or without the broker.
 //
+// -broker-remote -workers-addr ADDR serves evaluations to remote worker
+// processes (cmd/brokerd) connecting at ADDR (unix:/path or
+// [tcp:]host:port) instead of in-process shards: lease-based task
+// claims with heartbeat failure detection re-dispatch the work of dead
+// or partitioned workers, and evaluations degrade inline while no
+// worker is connected. Start workers with matching evaluation-stack
+// flags (machine, faults, retries, timeout, seed) so remote evaluations
+// are bit-identical to local ones.
+//
 // -workers N caps the OS threads the Go runtime schedules goroutines on
 // (GOMAXPROCS; 0 keeps the runtime default). The search algorithms
 // evaluate configurations strictly in sequence — parallelism never
@@ -77,6 +87,7 @@ import (
 
 	"repro/internal/annotate"
 	"repro/internal/broker"
+	"repro/internal/broker/remote"
 	"repro/internal/codegen"
 	"repro/internal/faults"
 	"repro/internal/journal"
@@ -127,6 +138,8 @@ func run() int {
 		brokerOn   = flag.Bool("broker", false, "route evaluations through the fault-tolerant broker (queued workers, retries, circuit breakers; results identical either way)")
 		brokerW    = flag.Int("broker-workers", 0, "broker worker shards (0 = broker default; implies -broker)")
 		hedgeAfter = flag.Duration("hedge-after", 0, "broker hedged re-dispatch delay for straggling evaluations (0 disables; implies -broker)")
+		brokerRem  = flag.Bool("broker-remote", false, "serve evaluations to remote workers (cmd/brokerd) instead of in-process shards (requires -workers-addr)")
+		workAddr   = flag.String("workers-addr", "", "listen address for remote workers: unix:/path or [tcp:]host:port (implies -broker-remote)")
 		verbose    = flag.Bool("v", false, "print every evaluation")
 		emit       = flag.Bool("emit", false, "print the best variant as C code (kernel problems)")
 		traceFile  = flag.String("trace", "", "write a JSONL event trace to FILE (read with cmd/tracestat)")
@@ -211,15 +224,41 @@ func run() int {
 	}
 
 	// The evaluation broker wraps outermost, so the full resilient stack
-	// runs inside its worker shards. Like -workers it is results-
-	// invariant (and therefore absent from metaExtra): the broker only
-	// changes where evaluations execute, never what they return.
-	brokered := *brokerOn || *brokerW > 0 || *hedgeAfter > 0
-	if *brokerW < 0 {
-		warnf("-broker-workers must be >= 0, got %d", *brokerW)
+	// runs inside its worker shards (or travels to remote workers). Like
+	// -workers it is results-invariant (and therefore absent from
+	// metaExtra): the broker only changes where evaluations execute,
+	// never what they return.
+	if explicit["broker-workers"] && *brokerW <= 0 {
+		warnf("-broker-workers must be > 0, got %d", *brokerW)
 		return exitUsage
 	}
-	if brokered {
+	if *hedgeAfter < 0 {
+		warnf("-hedge-after must be >= 0, got %v", *hedgeAfter)
+		return exitUsage
+	}
+	remoteOn := *brokerRem || *workAddr != ""
+	brokered := *brokerOn || *brokerW > 0 || *hedgeAfter > 0
+	switch {
+	case remoteOn && *workAddr == "":
+		warnf("-broker-remote requires -workers-addr (where cmd/brokerd workers connect)")
+		return exitUsage
+	case remoteOn && (*brokerOn || *brokerW > 0):
+		warnf("-broker-remote and in-process broker shards (-broker/-broker-workers) are mutually exclusive")
+		return exitUsage
+	case remoteOn:
+		b := broker.New(broker.Options{External: true, HedgeAfter: *hedgeAfter})
+		defer b.Close()
+		ln, err := remote.Listen(*workAddr)
+		if err != nil {
+			warnf("workers-addr: %v", err)
+			return exitError
+		}
+		pool := remote.NewPool(b, remote.PoolOptions{})
+		defer pool.Close()
+		pool.Serve(ln)
+		warnf("serving evaluations to remote workers on %s (start cmd/brokerd with -connect %s)", *workAddr, *workAddr)
+		p = b.Problem(p)
+	case brokered:
 		b := broker.New(broker.Options{Workers: *brokerW, HedgeAfter: *hedgeAfter})
 		defer b.Close()
 		p = b.Problem(p)
@@ -306,7 +345,7 @@ func run() int {
 		// Brokered runs journal in-flight work, so a SIGKILL mid-
 		// evaluation still resumes cleanly (and the resume may drop the
 		// broker entirely).
-		wopt := journal.WrapOptions{TrackInFlight: brokered}
+		wopt := journal.WrapOptions{TrackInFlight: brokered || remoteOn}
 		res, info, err = runJournaled(ctx, *journalDir, p, *algo, *nmax, *seed, metaExtra(
 			*problem, *annotation, *machineN, *compilerN, *threads, *algo, *faultRate, *retries, *timeout), wopt, &pulls)
 	} else {

@@ -2,16 +2,21 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/broker/remote"
 	"repro/internal/journal"
 	"repro/internal/kernels"
+	"repro/internal/search"
 )
 
 // TestMain lets the test binary stand in for the autotune command: when
@@ -239,6 +244,89 @@ func TestWorkersComposeWithJournaledResume(t *testing.T) {
 		}
 		if got := grepLine(resumeOut.String(), prefix); got != want {
 			t.Fatalf("resumed %q line differs:\n  resumed:   %s\n  workers=1: %s", prefix, got, want)
+		}
+	}
+}
+
+// TestBrokerFlagValidation pins the broker flag contract: explicitly
+// non-positive shard counts, negative hedge delays, and incoherent
+// remote flags are usage errors (exit 2) with a clear message, never
+// silently coerced.
+func TestBrokerFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"broker-workers zero", []string{"-broker-workers", "0"}, "-broker-workers must be > 0"},
+		{"broker-workers negative", []string{"-broker-workers", "-3"}, "-broker-workers must be > 0"},
+		{"hedge-after negative", []string{"-hedge-after", "-1ms"}, "-hedge-after must be >= 0"},
+		{"broker-remote without addr", []string{"-broker-remote"}, "-broker-remote requires -workers-addr"},
+		{"remote and shards", []string{"-workers-addr", "unix:/tmp/x.sock", "-broker"}, "mutually exclusive"},
+		{"remote and broker-workers", []string{"-broker-remote", "-workers-addr", "unix:/tmp/x.sock", "-broker-workers", "2"}, "mutually exclusive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-problem", "ATAX", "-nmax", "3"}, tc.args...)
+			cmd, out := autotuneCmd(args...)
+			if code := exitCode(t, cmd.Run()); code != exitUsage {
+				t.Fatalf("exit %d, want %d; output:\n%s", code, exitUsage, out)
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Fatalf("output missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+// TestRemoteWorkersServeAutotune is the CLI-level remote e2e: autotune
+// listens on a unix socket, a brokerd-equivalent worker (the remote
+// package driven directly, same wire path) serves the evaluations, and
+// the output matches the inline run line for line.
+func TestRemoteWorkersServeAutotune(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec trial skipped in -short mode")
+	}
+	runFlags := []string{"-problem", "ATAX", "-algo", "rs", "-nmax", "20", "-seed", "19"}
+	inline, inlineOut := autotuneCmd(runFlags...)
+	if code := exitCode(t, inline.Run()); code != exitOK {
+		t.Fatalf("inline run exited %d; output:\n%s", code, inlineOut)
+	}
+
+	addr := "unix:" + filepath.Join(t.TempDir(), "w.sock")
+	remoteCmd, remoteOut := autotuneCmd(append(runFlags, "-throttle", "5ms", "-broker-remote", "-workers-addr", addr)...)
+	if err := remoteCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w := &remote.Worker{Resolve: func(name string) (search.Problem, error) {
+		return buildProblem("ATAX", "", "Sandybridge", "gnu-4.4.7", 1)
+	}}
+	wctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer cancel()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = w.Run(wctx, func(ctx context.Context) (net.Conn, error) {
+			conn, err := remote.Dial(ctx, addr)
+			if err != nil {
+				// The driver may not be listening yet; Run's backoff retries.
+				return nil, err
+			}
+			return conn, nil
+		})
+	}()
+	if code := exitCode(t, remoteCmd.Wait()); code != exitOK {
+		t.Fatalf("remote run exited %d; output:\n%s", code, remoteOut)
+	}
+	for _, prefix := range []string{"best config:", "best run:", "search time:"} {
+		want := grepLine(inlineOut.String(), prefix)
+		if want == "" {
+			t.Fatalf("inline output missing %q line:\n%s", prefix, inlineOut)
+		}
+		if got := grepLine(remoteOut.String(), prefix); got != want {
+			t.Fatalf("remote %q line differs:\n  remote: %s\n  inline: %s", prefix, got, want)
 		}
 	}
 }

@@ -3,7 +3,7 @@
 // document to the file named by -o (default BENCH.json):
 //
 //	go test -run '^$' -bench 'BenchmarkBroker' -benchtime 2x ./... |
-//	    go run ./cmd/benchjson -o BENCH_PR6.json
+//	    go run ./cmd/benchjson -o BENCH_PR7.json
 //
 // Each benchmark line becomes an entry with its name, iteration count,
 // ns/op, and any extra metrics the benchmark reported via

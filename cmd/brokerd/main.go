@@ -1,0 +1,231 @@
+// Command brokerd is a remote evaluation worker: it connects to a
+// driver (cmd/autotune or cmd/experiments started with -broker-remote
+// -workers-addr ADDR), receives broker tasks over the wire, evaluates
+// them locally, and streams the results back under a heartbeat.
+//
+// Usage:
+//
+//	brokerd -connect unix:/tmp/tune.sock [-label w1] [-heartbeat 25ms]
+//	        [-machine Sandybridge] [-compiler gnu-4.4.7] [-threads 1]
+//	        [-faults 0.3] [-retries 2] [-timeout 30] [-seed 42]
+//	        [-annotation FILE] [-metrics]
+//
+// The worker rebuilds the driver's evaluation stack locally from the
+// problem name each task carries: the simulated kernel or mini-app,
+// plus the fault injector and resilient retry/timeout budgets when
+// -faults/-timeout are set. For remote results to be bit-identical to
+// inline ones the evaluation-stack flags (-machine, -compiler,
+// -threads, -faults, -retries, -timeout, -seed) must match the
+// driver's; the driver's lease reclaim re-dispatches any divergence-
+// inducing mismatch as ordinary work, so a mismatch shows up as wrong
+// numbers, not a hang — keep the flags in lockstep.
+//
+// brokerd reconnects with capped exponential backoff when the driver
+// restarts or the network drops, and exits cleanly when the driver
+// says goodbye. -metrics prints the worker's local telemetry snapshot
+// (evaluations by status, faults, retries) on exit; worker-side
+// telemetry is local to this process, not forwarded to the driver.
+//
+// Exit codes: 0 clean shutdown (driver said bye, or SIGINT/SIGTERM),
+// 1 runtime failure (reconnect budget exhausted), 2 bad usage.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/annotate"
+	"repro/internal/broker/remote"
+	"repro/internal/faults"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/miniapps"
+	"repro/internal/obs"
+	"repro/internal/search"
+	"repro/internal/sim"
+)
+
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
+)
+
+func warnf(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "brokerd: "+format+"\n", a...)
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		connect    = flag.String("connect", "", "driver address to connect to: unix:/path or [tcp:]host:port (required)")
+		label      = flag.String("label", "", "worker name in telemetry and driver logs (default: brokerd-<pid>)")
+		heartbeat  = flag.Duration("heartbeat", 0, "heartbeat period (0 = transport default)")
+		machineN   = flag.String("machine", "Sandybridge", "target machine (must match the driver)")
+		compilerN  = flag.String("compiler", "gnu-4.4.7", "compiler (must match the driver)")
+		threads    = flag.Int("threads", 1, "OpenMP threads (must match the driver)")
+		annotation = flag.String("annotation", "", "path to an annotated kernel file, served under its parsed name")
+		faultRate  = flag.Float64("faults", 0, "total injected failure rate in [0,1) (must match the driver)")
+		retries    = flag.Int("retries", 2, "max retries per transient evaluation failure (must match the driver)")
+		timeout    = flag.Float64("timeout", 0, "per-evaluation run-time cap in seconds (must match the driver)")
+		seed       = flag.Uint64("seed", 42, "random seed for the fault injector (must match the driver)")
+		metrics    = flag.Bool("metrics", false, "print the local telemetry snapshot on exit")
+	)
+	flag.Parse()
+
+	if *connect == "" {
+		warnf("-connect is required (the driver's -workers-addr)")
+		return exitUsage
+	}
+	if *faultRate < 0 || *faultRate >= 1 {
+		warnf("-faults must be in [0,1), got %v", *faultRate)
+		return exitUsage
+	}
+	if *label == "" {
+		*label = fmt.Sprintf("brokerd-%d", os.Getpid())
+	}
+
+	resolve, err := newResolver(*machineN, *compilerN, *threads, *annotation,
+		*faultRate, *retries, *timeout, *seed)
+	if err != nil {
+		warnf("%v", err)
+		return exitUsage
+	}
+
+	// Worker-side telemetry: the resilient layer's fault/retry/censor
+	// events land here, local to this process (DESIGN.md §9).
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metrics {
+		reg = obs.NewRegistry()
+		tracer = obs.New(obs.NewMetricsSink(reg))
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	w := &remote.Worker{
+		Resolve:   resolve,
+		Label:     *label,
+		BeatEvery: *heartbeat,
+		Tracer:    tracer,
+	}
+	warnf("connecting to %s as %s", *connect, *label)
+	err = w.Run(ctx, func(ctx context.Context) (net.Conn, error) {
+		return remote.Dial(ctx, *connect)
+	})
+	if reg != nil {
+		fmt.Print(reg.Snapshot())
+	}
+	switch {
+	case err == nil:
+		warnf("driver said goodbye, shutting down")
+		return exitOK
+	case errors.Is(err, context.Canceled):
+		warnf("interrupted, shutting down")
+		return exitOK
+	default:
+		warnf("%v", err)
+		return exitError
+	}
+}
+
+// newResolver builds the wire-name -> problem resolver: every problem
+// the driver can tune (SPAPT kernels, mini-apps, one optional annotated
+// kernel), each wrapped in the same fault-injection and resilience
+// stack the driver would use inline. Instances are cached per name so a
+// re-dispatched task evaluates against the same injector state, and the
+// cache is goroutine-safe because the worker evaluates tasks on
+// separate goroutines.
+func newResolver(machineN, compilerN string, threads int, annotation string,
+	faultRate float64, retries int, timeout float64, seed uint64) (remote.Resolver, error) {
+
+	m, err := machine.ByName(machineN)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := machine.CompilerByName(compilerN)
+	if err != nil {
+		return nil, err
+	}
+	var annotated *kernels.Kernel
+	if annotation != "" {
+		text, err := os.ReadFile(annotation)
+		if err != nil {
+			return nil, err
+		}
+		k, err := annotate.Parse(string(text))
+		if err != nil {
+			return nil, err
+		}
+		annotated = k
+	}
+
+	target := sim.Target{Machine: m, Compiler: comp, Threads: threads}
+	build := func(name string) (search.Problem, error) {
+		// Wire names are qualified — "LU@Sandybridge/gnu-4.4.7/t1",
+		// "HPL@Sandybridge" — so a worker configured for a different
+		// target refuses the task instead of silently computing on the
+		// wrong simulated machine.
+		base, tgt := name, ""
+		if i := strings.IndexByte(name, '@'); i >= 0 {
+			base, tgt = name[:i], name[i+1:]
+		}
+		var p search.Problem
+		switch {
+		case annotated != nil && base == annotated.Name:
+			p = kernels.NewProblem(annotated, target)
+		case base == "HPL":
+			p = miniapps.NewProblem(miniapps.HPL(), m)
+		case base == "RT":
+			p = miniapps.NewProblem(miniapps.RT(), m)
+		default:
+			k, err := kernels.ByName(base)
+			if err != nil {
+				return nil, fmt.Errorf("unknown problem %q from driver", name)
+			}
+			if !m.SupportsCompiler(comp) {
+				return nil, fmt.Errorf("compiler %s not available on %s", compilerN, machineN)
+			}
+			p = kernels.NewProblem(k, target)
+		}
+		if tgt != "" && p.Name() != name {
+			return nil, fmt.Errorf("target mismatch: driver tunes %s, this worker builds %s (align -machine/-compiler/-threads)", name, p.Name())
+		}
+		// Same stack shape as cmd/autotune: injector (stateful, hence
+		// the cache) under the resilient retry/timeout budgets.
+		if faultRate > 0 || timeout > 0 {
+			fp := search.Fallible(p)
+			if faultRate > 0 {
+				fp = faults.Wrap(p, faults.Profile(machineN).ScaledTo(faultRate), seed)
+			}
+			p = search.NewResilient(fp, search.ResilientOptions{Retries: retries, Timeout: timeout})
+		}
+		return p, nil
+	}
+
+	var mu sync.Mutex
+	cache := map[string]search.Problem{}
+	return func(name string) (search.Problem, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if p, ok := cache[name]; ok {
+			return p, nil
+		}
+		p, err := build(name)
+		if err != nil {
+			return nil, err
+		}
+		cache[name] = p
+		return p, nil
+	}, nil
+}

@@ -68,9 +68,31 @@ func run() int {
 		broker  = flag.Bool("broker", false, "route evaluations through the fault-tolerant broker (results identical either way)")
 		brokerW = flag.Int("broker-workers", 0, "broker worker shards (0 = broker default; implies -broker)")
 		hedge   = flag.Duration("hedge-after", 0, "broker hedged re-dispatch delay for stragglers (0 disables; implies -broker)")
+		brokerR = flag.Bool("broker-remote", false, "serve evaluations to remote workers (cmd/brokerd) instead of in-process shards (requires -workers-addr)")
+		wrkAddr = flag.String("workers-addr", "", "listen address for remote workers: unix:/path or [tcp:]host:port (implies -broker-remote)")
 		resume  = flag.String("resume", "", "resume an interrupted sweep from DIR's progress file (implies -outdir DIR)")
 	)
 	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["broker-workers"] && *brokerW <= 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -broker-workers must be > 0, got %d\n", *brokerW)
+		return exitUsage
+	}
+	if *hedge < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -hedge-after must be >= 0, got %v\n", *hedge)
+		return exitUsage
+	}
+	remoteOn := *brokerR || *wrkAddr != ""
+	if remoteOn && *wrkAddr == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -broker-remote requires -workers-addr (where cmd/brokerd workers connect)")
+		return exitUsage
+	}
+	if remoteOn && (*broker || *brokerW > 0) {
+		fmt.Fprintln(os.Stderr, "experiments: -broker-remote and in-process broker shards (-broker/-broker-workers) are mutually exclusive")
+		return exitUsage
+	}
 
 	if *resume != "" {
 		if *outdir != "" && *outdir != *resume {
@@ -85,7 +107,10 @@ func run() int {
 		cfg = experiments.Quick(*seed)
 	}
 	cfg.Workers = *workers
-	if *broker || *brokerW > 0 || *hedge > 0 {
+	if remoteOn {
+		cfg.RemoteWorkersAddr = *wrkAddr
+		cfg.BrokerHedgeAfter = *hedge
+	} else if *broker || *brokerW > 0 || *hedge > 0 {
 		cfg.BrokerWorkers = *brokerW
 		if cfg.BrokerWorkers <= 0 {
 			cfg.BrokerWorkers = 4

@@ -1,9 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"context"
-
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -77,5 +78,73 @@ func TestWriteFileAtomicReplaces(t *testing.T) {
 	data, err := os.ReadFile(path)
 	if err != nil || string(data) != "new" {
 		t.Fatalf("got %q, %v", data, err)
+	}
+}
+
+// TestMain lets the test binary stand in for the experiments command:
+// when re-exec'd with EXPERIMENTS_E2E_MAIN=1 it runs the real main
+// path, so the flag-validation tests exercise the production parsing.
+func TestMain(m *testing.M) {
+	if os.Getenv("EXPERIMENTS_E2E_MAIN") == "1" {
+		os.Exit(run())
+	}
+	os.Exit(m.Run())
+}
+
+// experimentsCmd re-execs the test binary as the experiments command.
+func experimentsCmd(args ...string) (*exec.Cmd, *bytes.Buffer) {
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "EXPERIMENTS_E2E_MAIN=1")
+	out := new(bytes.Buffer)
+	cmd.Stdout = out
+	cmd.Stderr = out
+	return cmd, out
+}
+
+// TestBrokerFlagValidation pins the broker flag contract: explicitly
+// non-positive shard counts, negative hedge delays, and incoherent
+// remote flags exit 2 with a clear message instead of being silently
+// coerced to a default.
+func TestBrokerFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"broker-workers zero", []string{"-broker-workers", "0"}, "-broker-workers must be > 0"},
+		{"broker-workers negative", []string{"-broker-workers", "-2"}, "-broker-workers must be > 0"},
+		{"hedge-after negative", []string{"-hedge-after", "-5ms"}, "-hedge-after must be >= 0"},
+		{"broker-remote without addr", []string{"-broker-remote"}, "-broker-remote requires -workers-addr"},
+		{"remote and shards", []string{"-workers-addr", "unix:/tmp/x.sock", "-broker"}, "mutually exclusive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-exp", "table3", "-quick"}, tc.args...)
+			cmd, out := experimentsCmd(args...)
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("expected exit error, got %v; output:\n%s", err, out)
+			}
+			if code := ee.ExitCode(); code != exitUsage {
+				t.Fatalf("exit %d, want %d; output:\n%s", code, exitUsage, out)
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Fatalf("output missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
+// TestBrokerFlagAloneStillDefaults pins the compatible half of the
+// contract: -broker with no explicit shard count keeps defaulting
+// instead of erroring (only an explicit non-positive count is refused).
+func TestBrokerFlagAloneStillDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec trial skipped in -short mode")
+	}
+	cmd, out := experimentsCmd("-exp", "table3", "-quick", "-broker")
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("experiments -broker: %v; output:\n%s", err, out)
 	}
 }

@@ -9,16 +9,21 @@ import (
 // ErrSink guards the durability boundary: a journal append, fsync,
 // checkpoint, or Close whose error silently vanishes turns crash-safe
 // persistence into best-effort persistence, and the resume invariants
-// of internal/journal stop holding. The rule: a call statement (plain,
-// deferred, or go'd) that discards an error returned by a must-check
-// callee is flagged. Must-check callees are anything exported by
-// internal/journal plus any function or method named Close, Sync,
-// Flush, Append, or Checkpoint. Assigning the error to _ is an explicit
-// decision and stays allowed — the point is that dropping a durability
-// error must be visible in the code, not that it is always wrong.
+// of internal/journal stop holding. The same discipline applies to the
+// remote transport: a net.Conn deadline that silently fails to arm
+// turns the heartbeat failure detector into a hang, which is why the
+// SetDeadline family is also must-check. The rule: a call statement
+// (plain, deferred, or go'd) that discards an error returned by a
+// must-check callee is flagged. Must-check callees are anything
+// exported by internal/journal plus any function or method named
+// Close, Sync, Flush, Append, Checkpoint, or SetDeadline /
+// SetReadDeadline / SetWriteDeadline. Assigning the error to _ is an
+// explicit decision and stays allowed — the point is that dropping a
+// durability error must be visible in the code, not that it is always
+// wrong.
 var ErrSink = &Analyzer{
 	Name: "errsink",
-	Doc:  "flag silently discarded errors from journal/durability operations and Close/Sync/Flush",
+	Doc:  "flag silently discarded errors from journal/durability operations, Close/Sync/Flush, and conn deadlines",
 	Run:  runErrSink,
 }
 
@@ -26,6 +31,7 @@ var ErrSink = &Analyzer{
 // silently dropped regardless of package.
 var mustCheckNames = map[string]bool{
 	"Close": true, "Sync": true, "Flush": true, "Append": true, "Checkpoint": true,
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
 }
 
 func runErrSink(pass *Pass) {

@@ -33,3 +33,23 @@ func errorless(q quiet) {
 func excused(f file) {
 	f.Close() //lint:ignore errsink fixture: demonstrating a reasoned suppression
 }
+
+// conn mimics net.Conn's deadline surface: a deadline that silently
+// fails to arm turns a heartbeat failure detector into a hang, so the
+// SetDeadline family is must-check like Close/Sync.
+type conn struct{}
+
+func (conn) SetDeadline(int) error      { return nil }
+func (conn) SetReadDeadline(int) error  { return nil }
+func (conn) SetWriteDeadline(int) error { return nil }
+
+func leakyDeadlines(c conn) {
+	c.SetDeadline(0)            // want "errsink: discarded error from conn.SetDeadline"
+	c.SetReadDeadline(0)        // want "errsink: discarded error from conn.SetReadDeadline"
+	defer c.SetWriteDeadline(0) // want "errsink: deferred and discarded error from conn.SetWriteDeadline"
+}
+
+func armedDeadlines(c conn) error {
+	_ = c.SetWriteDeadline(0)
+	return c.SetReadDeadline(0)
+}

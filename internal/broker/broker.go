@@ -106,6 +106,15 @@ type Options struct {
 	Faults Faults
 	// Label names the broker in telemetry events (default "broker").
 	Label string
+	// External suppresses the in-process worker shards: queued tasks are
+	// served by an external dispatcher (internal/broker/remote) that
+	// pulls them with NextTask and settles them through the Task handle.
+	// Until a dispatcher attaches (AttachDispatcher), submissions degrade
+	// to inline execution so the search can never deadlock on an empty
+	// worker set. Workers/Faults/BreakerThreshold/Probation only shape
+	// the in-process shards and are ignored in external mode — the
+	// external dispatcher owns failure detection (heartbeats, leases).
+	External bool
 }
 
 func (o Options) withDefaults() Options {
@@ -171,6 +180,12 @@ type Broker struct {
 	completed   int // completed tasks (the breaker's probation clock)
 	workers     []workerState
 	quarantined int
+
+	// external-mode state: no shards run; health is "a dispatcher is
+	// attached" (the dispatcher guarantees the queue drains, degrading
+	// tasks inline itself when it has no live workers).
+	external     bool
+	dispatcherUp atomic.Bool
 }
 
 // New starts a broker with opt's worker shards. The caller must Close it
@@ -178,15 +193,18 @@ type Broker struct {
 func New(opt Options) *Broker {
 	opt = opt.withDefaults()
 	b := &Broker{
-		opt:     opt,
-		queue:   make(chan *task, opt.QueueDepth),
-		closed:  make(chan struct{}),
-		workers: make([]workerState, opt.Workers),
+		opt:      opt,
+		queue:    make(chan *task, opt.QueueDepth),
+		closed:   make(chan struct{}),
+		workers:  make([]workerState, opt.Workers),
+		external: opt.External,
 	}
 	b.group = parallel.NewGroup(b.onWorkerPanic)
-	for w := 0; w < opt.Workers; w++ {
-		w := w
-		b.group.Spawn(w, func() { b.workerLoop(w) })
+	if !opt.External {
+		for w := 0; w < opt.Workers; w++ {
+			w := w
+			b.group.Spawn(w, func() { b.workerLoop(w) })
+		}
 	}
 	return b
 }
@@ -280,13 +298,12 @@ func (b *Broker) Evaluate(ctx context.Context, p search.Problem, c space.Config)
 	b.mu.Lock()
 	t.seq = b.seq
 	b.seq++
-	allQuarantined := b.quarantined >= len(b.workers)
 	b.mu.Unlock()
 
-	if allQuarantined {
+	if b.allQuarantined() {
 		// Graceful degradation: no healthy worker exists, so evaluate
 		// inline on the caller and mark the outcome.
-		tr.Degraded("broker: all workers quarantined; evaluating inline")
+		tr.Degraded(b.degradedReason())
 		t.execute(b, -1, true)
 		return t.outcome()
 	}
@@ -328,7 +345,7 @@ func (b *Broker) Evaluate(ctx context.Context, p search.Problem, c space.Config)
 				return t.outcome()
 			case <-recheck.C:
 				if b.allQuarantined() {
-					tr.Degraded("broker: all workers quarantined; evaluating inline")
+					tr.Degraded(b.degradedReason())
 					t.execute(b, -1, true)
 					return t.outcome()
 				}
@@ -363,7 +380,7 @@ func (b *Broker) Evaluate(ctx context.Context, p search.Problem, c space.Config)
 			}
 		case <-recheck.C:
 			if b.allQuarantined() {
-				tr.Degraded("broker: all workers quarantined; evaluating inline")
+				tr.Degraded(b.degradedReason())
 				t.execute(b, -1, true)
 				// execute either claimed (done is closed) or lost the race to
 				// a copy that did — either way done closes; loop to collect.
@@ -383,12 +400,35 @@ func (b *Broker) Evaluate(ctx context.Context, p search.Problem, c space.Config)
 	}
 }
 
-// allQuarantined reports whether no healthy worker remains.
+// allQuarantined reports whether no healthy consumer of the queue
+// remains: every in-process shard quarantined, or — in external mode —
+// no dispatcher attached yet. Either way the submitter degrades to
+// inline execution rather than queueing into the void.
 func (b *Broker) allQuarantined() bool {
+	if b.external {
+		return !b.dispatcherUp.Load()
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.quarantined >= len(b.workers)
 }
+
+// degradedReason explains an inline degradation for telemetry.
+func (b *Broker) degradedReason() string {
+	if b.external {
+		return "broker: no external dispatcher attached; evaluating inline"
+	}
+	return "broker: all workers quarantined; evaluating inline"
+}
+
+// AttachDispatcher marks an external dispatcher as serving the queue
+// (external mode only): submissions stop degrading inline and queue for
+// the dispatcher instead. DetachDispatcher reverses it.
+func (b *Broker) AttachDispatcher() { b.dispatcherUp.Store(true) }
+
+// DetachDispatcher marks the external dispatcher gone; later
+// submissions degrade to inline execution.
+func (b *Broker) DetachDispatcher() { b.dispatcherUp.Store(false) }
 
 // workerLoop is one worker shard's service loop: honor the quarantine
 // gate, then serve queued tasks until shutdown.
@@ -458,7 +498,7 @@ func (b *Broker) onWorkerPanic(id int, v any) bool {
 		panic(v)
 	}
 	b.workerFailed(wc.worker, wc.t.tr)
-	b.redispatch(wc.t)
+	b.redispatch(wc.t, "worker crash")
 	return true
 }
 
@@ -484,15 +524,12 @@ func (b *Broker) workerFailed(w int, tr *obs.Tracer) {
 // backoff while budget remains and healthy workers exist, else degrade
 // to inline execution right here (the supervisor's goroutine), which
 // guarantees termination.
-func (b *Broker) redispatch(t *task) {
+func (b *Broker) redispatch(t *task, reason string) {
 	if t.cancelled.Load() {
 		return
 	}
 	attempt := int(t.retries.Add(1))
-	b.mu.Lock()
-	allQuarantined := b.quarantined >= len(b.workers)
-	b.mu.Unlock()
-	if attempt > b.opt.Retries || allQuarantined {
+	if attempt > b.opt.Retries || b.allQuarantined() {
 		t.tr.Degraded("broker: retries exhausted or no healthy worker; evaluating inline")
 		t.execute(b, -1, true)
 		return
@@ -501,7 +538,7 @@ func (b *Broker) redispatch(t *task) {
 	if backoff > b.opt.BackoffCap {
 		backoff = b.opt.BackoffCap
 	}
-	t.tr.BrokerRetry(b.opt.Label, t.seq, attempt, backoff.Seconds(), "worker crash")
+	t.tr.BrokerRetry(b.opt.Label, t.seq, attempt, backoff.Seconds(), reason)
 	timer := time.NewTimer(backoff)
 	select {
 	case <-timer.C:

@@ -429,7 +429,7 @@ func TestBrokerJournalReplay(t *testing.T) {
 }
 
 // BenchmarkBrokerThroughput measures brokered evaluation throughput
-// with healthy workers (no faults), the baseline for BENCH_PR6.json.
+// with healthy workers (no faults), the baseline for BENCH_PR7.json.
 func BenchmarkBrokerThroughput(bm *testing.B) {
 	b := broker.New(broker.Options{Workers: 4})
 	defer b.Close()

@@ -20,6 +20,7 @@ package chaostest
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/broker"
@@ -113,9 +114,25 @@ func RandomTrial(campaignSeed uint64, i int) Trial {
 	return t
 }
 
-// watchdog bounds a chaos trial: a broker bug that deadlocks the search
-// must fail the trial, not hang the suite.
-const watchdog = 60 * time.Second
+// watchdogDefault bounds a chaos trial: a broker bug that deadlocks the
+// search must fail the trial, not hang the suite.
+const watchdogDefault = 60 * time.Second
+
+// WatchdogEnv names the environment variable that overrides the trial
+// watchdog (a Go duration, e.g. "90s"): slow CI machines raise it, local
+// bisection runs lower it. Unset, empty, unparsable, or non-positive
+// values keep the default.
+const WatchdogEnv = "REPRO_CHAOS_WATCHDOG"
+
+// watchdogTimeout resolves the effective trial watchdog.
+func watchdogTimeout() time.Duration {
+	if v := os.Getenv(WatchdogEnv); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			return d
+		}
+	}
+	return watchdogDefault
+}
 
 // Run executes the trial: inline reference first, then the brokered run
 // under injected worker faults, asserting termination and bit-identical
@@ -151,7 +168,7 @@ func (t Trial) Run() error {
 			return fmt.Errorf("chaos trial %+v: %w", t, err)
 		}
 		return nil
-	case <-time.After(watchdog):
-		return fmt.Errorf("chaos trial %+v: search did not terminate within %v", t, watchdog)
+	case <-time.After(watchdogTimeout()):
+		return fmt.Errorf("chaos trial %+v: search did not terminate within %v", t, watchdogTimeout())
 	}
 }

@@ -1,0 +1,130 @@
+package chaostest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/broker/remote"
+)
+
+// TestRemoteChaosCampaign runs the randomized network-chaos campaign: 12
+// reproducible trials with randomized lease/heartbeat shapes, network
+// fault profiles, and connection kills, each asserting termination and a
+// bit-identical result.
+func TestRemoteChaosCampaign(t *testing.T) {
+	const trials = 12
+	for i := 0; i < trials; i++ {
+		i := i
+		tr := RandomRemoteTrial(113, i)
+		t.Run(describeRemote(i, tr), func(t *testing.T) {
+			if err := tr.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func describeRemote(i int, tr RemoteTrial) string {
+	kill := "nokill"
+	if tr.KillEvery > 0 {
+		kill = "kill"
+	}
+	return "trial-" + string(rune('A'+i%26)) + "-" + kill
+}
+
+// TestRemoteChaosWorkerKill is the worker-killed-mid-task campaign: the
+// newest connection is severed after every few evaluations, so in-flight
+// tasks lose their transport mid-evaluation. Workers redial, the
+// EvalGuard replays finished evaluations whose result frames died with
+// the connection, and the search still matches inline.
+func TestRemoteChaosWorkerKill(t *testing.T) {
+	tr := RemoteTrial{
+		Seed: 401, NMax: 24, Workers: 2,
+		LeaseTicks: 3, TickEvery: 3 * time.Millisecond,
+		MaxMissedBeats: 8, BeatEvery: time.Millisecond,
+		KillEvery: 3,
+	}
+	if err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteChaosHeartbeatBlackout drives long partition windows against
+// a tight missed-beat threshold: sessions go silent, the failure
+// detector declares them dead, their leases are reclaimed, and the
+// redialed sessions carry the search to a bit-identical finish.
+func TestRemoteChaosHeartbeatBlackout(t *testing.T) {
+	tr := RemoteTrial{
+		Seed: 421, NMax: 24, Workers: 2,
+		LeaseTicks: 4, TickEvery: 3 * time.Millisecond,
+		MaxMissedBeats: 3, BeatEvery: time.Millisecond,
+		Net: remote.SeededNetFaults{
+			Seed:          17,
+			PartitionRate: 0.12,
+			PartitionLen:  6,
+		},
+	}
+	if err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteChaosPartitionHeal uses partitions short enough that the
+// failure detector never fires: frames vanish in windows and reappear
+// after the heal, leases expire and re-dispatch, and no session ever
+// dies — the pure partition-then-heal path.
+func TestRemoteChaosPartitionHeal(t *testing.T) {
+	tr := RemoteTrial{
+		Seed: 431, NMax: 24, Workers: 2,
+		LeaseTicks: 3, TickEvery: 3 * time.Millisecond,
+		MaxMissedBeats: 1 << 20, BeatEvery: time.Millisecond,
+		Net: remote.SeededNetFaults{
+			Seed:          23,
+			PartitionRate: 0.1,
+			PartitionLen:  4,
+		},
+	}
+	if err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteChaosDuplicateStorm duplicates every faultable frame in both
+// directions: every task arrives at least twice and every result returns
+// at least twice, and the two exactly-once guards (worker EvalGuard,
+// broker claim) must absorb all of it.
+func TestRemoteChaosDuplicateStorm(t *testing.T) {
+	tr := RemoteTrial{
+		Seed: 443, NMax: 24, Workers: 2,
+		LeaseTicks: 6, TickEvery: 3 * time.Millisecond,
+		MaxMissedBeats: 8, BeatEvery: time.Millisecond,
+		Net: remote.SeededNetFaults{
+			Seed:    29,
+			DupRate: 1.0,
+		},
+	}
+	if err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchdogEnv pins the watchdog override contract: a valid duration
+// in REPRO_CHAOS_WATCHDOG replaces the default, anything else keeps it.
+func TestWatchdogEnv(t *testing.T) {
+	t.Setenv(WatchdogEnv, "90s")
+	if got := watchdogTimeout(); got != 90*time.Second {
+		t.Fatalf("watchdog with %s=90s: %v, want 90s", WatchdogEnv, got)
+	}
+	t.Setenv(WatchdogEnv, "not-a-duration")
+	if got := watchdogTimeout(); got != watchdogDefault {
+		t.Fatalf("watchdog with invalid value: %v, want default %v", got, watchdogDefault)
+	}
+	t.Setenv(WatchdogEnv, "-5s")
+	if got := watchdogTimeout(); got != watchdogDefault {
+		t.Fatalf("watchdog with negative value: %v, want default %v", got, watchdogDefault)
+	}
+	t.Setenv(WatchdogEnv, "")
+	if got := watchdogTimeout(); got != watchdogDefault {
+		t.Fatalf("watchdog with empty value: %v, want default %v", got, watchdogDefault)
+	}
+}

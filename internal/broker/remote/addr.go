@@ -1,0 +1,34 @@
+package remote
+
+import (
+	"context"
+	"net"
+	"strings"
+)
+
+// SplitAddr parses a worker address: "unix:/path/to.sock" selects a
+// unix socket, "tcp:host:port" a TCP one, and a bare "host:port"
+// defaults to TCP.
+func SplitAddr(addr string) (network, address string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", strings.TrimPrefix(addr, "tcp:")
+	default:
+		return "tcp", addr
+	}
+}
+
+// Listen opens the pool-side listener for addr (see SplitAddr).
+func Listen(addr string) (net.Listener, error) {
+	network, address := SplitAddr(addr)
+	return net.Listen(network, address)
+}
+
+// Dial connects a worker to the pool at addr (see SplitAddr).
+func Dial(ctx context.Context, addr string) (net.Conn, error) {
+	network, address := SplitAddr(addr)
+	var d net.Dialer
+	return d.DialContext(ctx, network, address)
+}

@@ -1,0 +1,152 @@
+package broker_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/obs"
+	"repro/internal/search"
+	"repro/internal/space"
+)
+
+// countingBowl counts evaluations, so cancellation tests can assert
+// that an interrupted submission never reached the problem.
+type countingBowl struct {
+	*bowl
+	evals atomic.Int64
+}
+
+func (c *countingBowl) Evaluate(cfg space.Config) (float64, float64) {
+	c.evals.Add(1)
+	return c.bowl.Evaluate(cfg)
+}
+
+// TestShedCancelledBeforeSubmit pins the deterministic half of the
+// shed/cancel race: a context cancelled before Evaluate is called wins
+// over the Shed policy's inline fallback. The outcome is Interrupted,
+// the problem is never evaluated, and no shed event is traced — even
+// against a fully saturated queue where a live context would have been
+// shed inline.
+func TestShedCancelledBeforeSubmit(t *testing.T) {
+	b := broker.New(broker.Options{
+		Workers:    1,
+		QueueDepth: 1,
+		Policy:     broker.Shed,
+		Faults:     stallAll{d: 50 * time.Millisecond},
+	})
+	defer b.Close()
+	reg := obs.NewRegistry()
+	ctx := obs.WithTracer(context.Background(), obs.New(obs.NewMetricsSink(reg)))
+
+	// Saturate: one task occupies the stalled worker, one fills the queue.
+	p := &countingBowl{bowl: newBowl()}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Evaluate(ctx, p, space.Config{0, 0, 0, 0})
+		}()
+	}
+	defer wg.Wait()
+	// Let the saturators reach the worker and the queue slot.
+	time.Sleep(10 * time.Millisecond)
+	before := p.evals.Load()
+
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	out := b.Evaluate(cctx, p, space.Config{1, 1, 1, 1})
+	if !out.Interrupted() {
+		t.Fatalf("cancelled submission returned %+v, want Interrupted", out)
+	}
+	if got := p.evals.Load(); got != before {
+		t.Fatalf("cancelled submission reached the problem: %d evaluations after, %d before", got, before)
+	}
+	if v := reg.Counter(obs.MetricBrokerShed).Value(); v != 0 {
+		t.Fatalf("%s = %d, want 0: a pre-cancelled submission must not count as shed", obs.MetricBrokerShed, v)
+	}
+}
+
+// TestShedCancelRace hammers the nondeterministic half: many
+// submissions against a saturated Shed broker while half their
+// contexts are cancelled concurrently. Whatever interleaving the
+// scheduler picks, every submission must settle to exactly one of two
+// pinned outcomes — Interrupted, or the bit-identical inline result —
+// with no hangs, no sheds marked degraded, and the broker still
+// serving afterwards. Run under -race this doubles as the memory-model
+// check for the shed path's claim guard.
+func TestShedCancelRace(t *testing.T) {
+	b := broker.New(broker.Options{
+		Workers:    1,
+		QueueDepth: 1,
+		Policy:     broker.Shed,
+		Faults:     stallAll{d: 5 * time.Millisecond},
+	})
+	defer b.Close()
+	reg := obs.NewRegistry()
+	ctx := obs.WithTracer(context.Background(), obs.New(obs.NewMetricsSink(reg)))
+
+	p := &countingBowl{bowl: newBowl()}
+	c := space.Config{1, 2, 3, 4}
+	want := search.EvaluateFull(context.Background(), newBowl(), c.Clone())
+
+	const n = 32
+	outs := make([]search.Outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cctx := ctx
+			if i%2 == 1 {
+				var cancel context.CancelFunc
+				cctx, cancel = context.WithCancel(ctx)
+				// Cancel concurrently with submission: sometimes before the
+				// pre-check, sometimes mid-shed, sometimes mid-wait.
+				go func() {
+					time.Sleep(time.Duration(i%5) * time.Millisecond)
+					cancel()
+				}()
+				defer cancel()
+			}
+			outs[i] = b.Evaluate(cctx, p, c.Clone())
+		}()
+	}
+	wg.Wait()
+
+	completed := 0
+	for i, out := range outs {
+		switch {
+		case out.Interrupted():
+			// Pinned outcome A: the cancellation won.
+		case out.RunTime == want.RunTime && out.Cost == want.Cost && out.Status == search.StatusOK:
+			// Pinned outcome B: the evaluation won, bit-identical to inline.
+			completed++
+			if out.Degraded {
+				t.Errorf("submission %d: shed execution marked degraded: %+v", i, out)
+			}
+		default:
+			t.Errorf("submission %d: outcome %+v is neither Interrupted nor the inline result %+v", i, out, want)
+		}
+	}
+	// The uncancelled half can never be interrupted: they all complete.
+	if completed < n/2 {
+		t.Fatalf("%d/%d submissions completed, want >= %d (uncancelled half)", completed, n, n/2)
+	}
+	// Exactly-once: the claim guard must stop a cancelled submitter and a
+	// worker from both evaluating one task.
+	if evals := p.evals.Load(); evals > int64(n) {
+		t.Fatalf("%d evaluations for %d submissions: some task ran twice", evals, n)
+	}
+
+	// The broker survives the storm: a fresh submission still completes.
+	out := b.Evaluate(ctx, p, c.Clone())
+	if out.RunTime != want.RunTime || out.Cost != want.Cost {
+		t.Fatalf("post-race submission: got %+v want %+v", out, want)
+	}
+}

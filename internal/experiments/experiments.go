@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/broker/remote"
 	"repro/internal/core"
 	"repro/internal/forest"
 	"repro/internal/kernels"
@@ -63,6 +64,11 @@ type Config struct {
 	// BrokerHedgeAfter enables hedged re-dispatch of straggling
 	// evaluations after this delay (0 disables; needs BrokerWorkers > 0).
 	BrokerHedgeAfter time.Duration
+	// RemoteWorkersAddr, when non-empty, serves every evaluation to
+	// remote worker processes (cmd/brokerd) listening on this address
+	// (unix:/path or [tcp:]host:port) instead of in-process shards.
+	// Mutually exclusive with BrokerWorkers.
+	RemoteWorkersAddr string
 }
 
 // WithDefaults fills unset fields with the paper's settings.
@@ -162,7 +168,19 @@ func Run(ctx context.Context, id string, cfg Config) (*Report, error) {
 	cfg = cfg.WithDefaults()
 	// One broker serves every cell of the experiment; problemFor wraps
 	// each problem it builds with whatever broker rides the context.
-	if cfg.BrokerWorkers > 0 {
+	switch {
+	case cfg.RemoteWorkersAddr != "":
+		b := broker.New(broker.Options{External: true, HedgeAfter: cfg.BrokerHedgeAfter})
+		defer b.Close()
+		ln, err := remote.Listen(cfg.RemoteWorkersAddr)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: workers-addr: %w", id, err)
+		}
+		pool := remote.NewPool(b, remote.PoolOptions{})
+		defer pool.Close()
+		pool.Serve(ln)
+		ctx = broker.Into(ctx, b)
+	case cfg.BrokerWorkers > 0:
 		b := broker.New(broker.Options{Workers: cfg.BrokerWorkers, HedgeAfter: cfg.BrokerHedgeAfter})
 		defer b.Close()
 		ctx = broker.Into(ctx, b)

@@ -3,13 +3,16 @@ package crashtest
 import (
 	"context"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/broker/remote"
 	"repro/internal/faults"
 	"repro/internal/journal"
 	"repro/internal/rng"
@@ -24,9 +27,12 @@ import (
 // the brokered journal path (in-flight markers included).
 func TestMain(m *testing.M) {
 	if dir := os.Getenv("CRASHTEST_CHILD_DIR"); dir != "" {
-		if os.Getenv("CRASHTEST_CHILD_BROKER") == "1" {
+		switch {
+		case os.Getenv("CRASHTEST_CHILD_BROKER") == "1":
 			brokerChildMain(dir)
-		} else {
+		case os.Getenv("CRASHTEST_CHILD_REMOTE") == "1":
+			remoteChildMain(dir)
+		default:
 			childMain(dir)
 		}
 		os.Exit(0)
@@ -207,6 +213,61 @@ func brokerChildMain(dir string) {
 	}
 }
 
+// remoteChildMain is the remote-transport SIGKILL child: the same slow
+// journaled search, but every evaluation travels the wire to a loopback
+// remote worker session under injected network faults, with in-flight
+// work journaled. The parent resumes the journal WITHOUT any broker or
+// worker, proving remote journal state is interchangeable with inline
+// state.
+func remoteChildMain(dir string) {
+	b := broker.New(broker.Options{
+		External: true,
+		Retries:  100,
+		Backoff:  100 * time.Microsecond,
+	})
+	defer b.Close()
+	pool := remote.NewPool(b, remote.PoolOptions{
+		LeaseTicks: 4, TickEvery: 5 * time.Millisecond, MaxMissedBeats: 20,
+		Faults: remote.SeededNetFaults{Seed: sigkillSeed, DropRate: 0.05, DupRate: 0.1, ReorderRate: 0.1},
+	})
+	defer pool.Close()
+
+	p := slowBowl{newBowl()}
+	w := &remote.Worker{
+		Resolve:   func(string) (search.Problem, error) { return p, nil },
+		BeatEvery: 2 * time.Millisecond,
+		Faults:    remote.SeededNetFaults{Seed: sigkillSeed + 1, DropRate: 0.05, DupRate: 0.1},
+	}
+	wctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer cancel()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = w.Run(wctx, func(ctx context.Context) (net.Conn, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			client, server := net.Pipe()
+			go func() {
+				if _, err := pool.AddConn(server); err != nil {
+					_ = server.Close()
+				}
+			}()
+			return client, nil
+		})
+	}()
+
+	_, _, err := journal.RunRS(context.Background(), dir, b.Problem(p),
+		sigkillNMax, sigkillSeed, nil,
+		journal.WrapOptions{CheckpointEvery: 3, TrackInFlight: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest remote child:", err)
+		os.Exit(1)
+	}
+}
+
 func TestSIGKILLResume(t *testing.T) {
 	if testing.Short() {
 		t.Skip("re-exec trial skipped in -short mode")
@@ -235,6 +296,56 @@ func TestSIGKILLResume(t *testing.T) {
 		s.Close()
 	}
 	t.Logf("child SIGKILLed with %d durable entries", survivors)
+
+	ref := search.RS(context.Background(), newBowl(), sigkillNMax, rng.New(sigkillSeed))
+	got, info, err := journal.RunRS(context.Background(), dir, newBowl(),
+		sigkillNMax, sigkillSeed, nil, journal.WrapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Done {
+		t.Fatalf("resume did not complete: %+v", info)
+	}
+	if err := Compare(ref, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSIGKILLRemoteResume kills -9 a child whose evaluations travel the
+// remote transport (loopback worker, drop/dup/reorder faults, short
+// leases) with in-flight journaling, then resumes the journal inline —
+// no broker, no pool, no worker. The resumed result must match the
+// plain reference exactly: network faults, lease reclaims, and the kill
+// itself leave no trace in the recovered state.
+func TestSIGKILLRemoteResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec trial skipped in -short mode")
+	}
+	dir := filepath.Join(t.TempDir(), "journal")
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"CRASHTEST_CHILD_DIR="+dir, "CRASHTEST_CHILD_REMOTE=1")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	survivors, inflight := 0, false
+	if journal.Exists(dir) {
+		s, err := journal.Open(dir)
+		if err != nil {
+			t.Fatalf("journal unrecoverable after SIGKILL: %v", err)
+		}
+		survivors = s.Len()
+		_, inflight = s.InFlight()
+		s.Close()
+	}
+	t.Logf("remote child SIGKILLed with %d durable entries (in-flight marker: %v)", survivors, inflight)
 
 	ref := search.RS(context.Background(), newBowl(), sigkillNMax, rng.New(sigkillSeed))
 	got, info, err := journal.RunRS(context.Background(), dir, newBowl(),

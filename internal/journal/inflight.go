@@ -30,20 +30,28 @@ type InFlight struct {
 	Index int `json:"i"`
 	// Config is the candidate being evaluated.
 	Config []int `json:"config"`
+	// Problem names the problem the item was dispatched against, so a
+	// resume under a different problem (or a remote worker pool serving
+	// a different target) is refused instead of replaying the marker
+	// into the wrong search. Empty in markers written before the field
+	// existed; absence skips the check.
+	Problem string `json:"problem,omitempty"`
 }
 
 // MarkInFlight durably records that the evaluation destined for journal
-// index idx has been dispatched. The marker is overwritten by the next
-// dispatch and removed by ClearInFlight.
-func (s *Session) MarkInFlight(idx int, c space.Config) error {
-	data, err := json.Marshal(InFlight{Index: idx, Config: []int(c)})
+// index idx has been dispatched against the named problem. The marker
+// is overwritten by the next dispatch and removed by ClearInFlight.
+func (s *Session) MarkInFlight(idx int, c space.Config, problem string) error {
+	inf := InFlight{Index: idx, Config: []int(c), Problem: problem}
+	data, err := json.Marshal(inf)
 	if err != nil {
 		return err
 	}
 	if err := writeFileAtomic(filepath.Join(s.dir, InFlightFileName), data); err != nil {
 		return err
 	}
-	s.inflight = &InFlight{Index: idx, Config: append([]int(nil), c...)}
+	inf.Config = append([]int(nil), c...)
+	s.inflight = &inf
 	return nil
 }
 

@@ -148,8 +148,13 @@ func (w *Recorder) EvaluateFull(ctx context.Context, c space.Config) search.Outc
 						"(journal was recorded under different semantics): %w",
 					w.idx, inf.Config, []int(c), search.ErrAborted))
 			}
+			if inf.Problem != "" && inf.Problem != w.p.Name() {
+				return w.abort(fmt.Errorf(
+					"journal: in-flight marker at entry %d belongs to problem %q, resume runs %q: %w",
+					w.idx, inf.Problem, w.p.Name(), search.ErrAborted))
+			}
 		}
-		if err := w.s.MarkInFlight(w.idx, c); err != nil {
+		if err := w.s.MarkInFlight(w.idx, c, w.p.Name()); err != nil {
 			return w.abort(fmt.Errorf("%v: %w", err, search.ErrAborted))
 		}
 	}

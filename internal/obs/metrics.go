@@ -250,6 +250,17 @@ const (
 	MetricBrokerHedgeWasted = "broker.hedge-wasted"
 	MetricBrokerBreakerOpen = "broker.breaker-opens"
 	MetricBrokerShed        = "broker.shed"
+
+	// Remote-worker metrics (internal/broker/remote). Like the broker.*
+	// family these describe transport scheduling and failure recovery,
+	// not results.
+	MetricRemoteSessions      = "broker.remote.sessions"
+	MetricRemoteDeaths        = "broker.remote.deaths"
+	MetricRemoteHeartbeatMiss = "broker.remote.heartbeat-misses"
+	MetricRemoteLeases        = "broker.remote.leases"
+	MetricRemoteLeaseExpired  = "broker.remote.lease-expired"
+	MetricRemoteDupResults    = "broker.remote.dup-results"
+	MetricRemoteReconnects    = "broker.remote.reconnects"
 )
 
 // MetricsSink folds trace events into a Registry: evaluation counts by
@@ -349,5 +360,25 @@ func (m *MetricsSink) Emit(e Event) {
 		if e.Detail == "open" {
 			m.reg.Counter(MetricBrokerBreakerOpen).Inc()
 		}
+	case KindRemoteWorker:
+		switch e.Detail {
+		case "connected":
+			m.reg.Counter(MetricRemoteSessions).Inc()
+		case "dead":
+			m.reg.Counter(MetricRemoteDeaths).Inc()
+		}
+	case KindHeartbeatMiss:
+		m.reg.Counter(MetricRemoteHeartbeatMiss).Inc()
+	case KindLease:
+		switch e.Detail {
+		case "grant":
+			m.reg.Counter(MetricRemoteLeases).Inc()
+		case "expire":
+			m.reg.Counter(MetricRemoteLeaseExpired).Inc()
+		case "dup-result":
+			m.reg.Counter(MetricRemoteDupResults).Inc()
+		}
+	case KindReconnect:
+		m.reg.Counter(MetricRemoteReconnects).Inc()
 	}
 }

@@ -105,6 +105,28 @@ const (
 	// Detail "open" (quarantined) or "closed" (re-admitted after its
 	// task-count probation window).
 	KindBreaker
+	// KindRemoteWorker is one remote worker session transition: N is the
+	// session id, Detail "connected", "closed" (graceful bye), or "dead"
+	// (failure detector declared it). Session lifecycle follows real
+	// connections, so these are scheduling-dependent like KindWorkerTask.
+	KindRemoteWorker
+	// KindHeartbeatMiss is the failure detector noting a missed heartbeat
+	// from a remote session: N is the session id, Seq the count of
+	// consecutive misses so far. The detector counts monitor ticks, not
+	// wall time, so with an injected tick source the miss sequence is
+	// deterministic.
+	KindHeartbeatMiss
+	// KindLease is one lease transition on a remotely dispatched task:
+	// Seq is the task, N the session holding (or losing) the lease,
+	// Detail "grant", "expire" (reclaimed from a dead or silent worker,
+	// task re-dispatched), or "dup-result" (a result arrived for a task
+	// another copy already settled; charged to telemetry, discarded from
+	// the result).
+	KindLease
+	// KindReconnect is one worker-side reconnect attempt after a lost
+	// broker connection: N is the attempt, Cost the backoff pause in
+	// seconds, Detail the triggering error.
+	KindReconnect
 )
 
 var kindNames = map[Kind]string{
@@ -130,6 +152,10 @@ var kindNames = map[Kind]string{
 	KindBrokerRetry:   "broker-retry",
 	KindHedge:         "hedge",
 	KindBreaker:       "breaker",
+	KindRemoteWorker:  "remote-worker",
+	KindHeartbeatMiss: "heartbeat-miss",
+	KindLease:         "lease",
+	KindReconnect:     "reconnect",
 }
 
 // String names the kind as it appears in traces.
@@ -583,6 +609,47 @@ func (t *Tracer) Breaker(label string, worker int, state string) {
 		return
 	}
 	t.sink.Emit(Event{Kind: KindBreaker, Seq: -1, Algo: label, N: worker, Detail: state})
+}
+
+// RemoteWorker records a remote worker session transition: state is
+// "connected", "closed" (graceful bye), or "dead" (declared by the
+// failure detector).
+func (t *Tracer) RemoteWorker(label string, session int, state string) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindRemoteWorker, Seq: -1, Algo: label, N: session, Detail: state})
+}
+
+// HeartbeatMiss records the failure detector noting session's missed
+// heartbeat; missed is the consecutive-miss count so far.
+func (t *Tracer) HeartbeatMiss(label string, session, missed int) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindHeartbeatMiss, Seq: missed, Algo: label, N: session})
+}
+
+// Lease records a lease transition on remotely dispatched task seq held
+// by session: state is "grant", "expire", or "dup-result".
+func (t *Tracer) Lease(label string, seq, session int, state string) {
+	if !t.Enabled() {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindLease, Seq: seq, Algo: label, N: session, Detail: state})
+}
+
+// Reconnect records one worker-side reconnect attempt after a lost
+// broker connection, pausing backoff seconds first.
+func (t *Tracer) Reconnect(label string, attempt int, backoff float64, err error) {
+	if !t.Enabled() {
+		return
+	}
+	e := Event{Kind: KindReconnect, Seq: -1, Algo: label, N: attempt, Cost: backoff}
+	if err != nil {
+		e.Detail = err.Error()
+	}
+	t.sink.Emit(e)
 }
 
 // ctxKey keys the tracer in a context.
