@@ -40,22 +40,28 @@ bench-parallel:
 
 # bench-json runs the broker benchmark suite — in-process broker
 # dispatch throughput, remote loopback dispatch (framing + heartbeat +
-# lease overhead per evaluation), end-to-end RSp/RSb inline vs
-# brokered, and forest batched prediction — and converts the combined
-# output into BENCH_PR7.json (committed as the PR's trajectory point;
-# CI regenerates and uploads it). bench-raw.txt keeps the raw
-# `go test -bench` lines.
+# lease overhead per evaluation), fully traced remote dispatch (span
+# emission + recorder ring on top of the loopback path), end-to-end
+# RSp/RSb inline vs brokered, and forest batched prediction — and
+# converts the combined output into BENCH_PR8.json (committed as the
+# PR's trajectory point; CI regenerates and uploads it). bench-raw.txt
+# keeps the raw `go test -bench` lines.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkBrokerThroughput' -benchtime 2x ./internal/broker/ > bench-raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkRemoteDispatch' -benchtime 2x ./internal/broker/remote/ >> bench-raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkDistributedTrace' -benchtime 2x ./internal/broker/remote/ >> bench-raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkEndToEndRS[pb]' -benchtime 2x . >> bench-raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkForestPredict' -benchtime 2x ./internal/forest/ >> bench-raw.txt
-	$(GO) run ./cmd/benchjson -o BENCH_PR7.json < bench-raw.txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR8.json < bench-raw.txt
 
 # broker-chaos runs the broker suite and its randomized chaos campaign
 # under the race detector, verbosely (CI uploads the log on failure).
+# REPRO_FLIGHT_DIR makes every failed trial dump its flight recording
+# (the last telemetry events, spans included) there for forensics; the
+# directory stays empty on a green run.
 broker-chaos:
-	$(GO) test -race -count=1 -v ./internal/broker/... 2>&1 | tee broker-chaos.txt
+	rm -rf flight-dumps && mkdir -p flight-dumps
+	REPRO_FLIGHT_DIR=flight-dumps $(GO) test -race -count=1 -v ./internal/broker/... 2>&1 | tee broker-chaos.txt
 
 # trace-smoke runs a small traced, faulted, journaled search and checks
 # that tracestat can parse and summarize the trace. The trace lands in

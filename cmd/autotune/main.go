@@ -9,8 +9,8 @@
 //	         [-broker] [-broker-workers N] [-hedge-after 50ms]
 //	         [-broker-remote -workers-addr unix:/tmp/tune.sock]
 //	         [-journal DIR] [-resume DIR] [-throttle 50ms]
-//	         [-trace FILE] [-progress] [-metrics]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-trace FILE] [-progress] [-metrics] [-metrics-addr ADDR]
+//	         [-flight FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Problems: MM, ATAX, COR, LU (SPAPT kernels), HPL, RT (mini-apps), or
 // -annotation FILE for a kernel in the annotation language.
@@ -24,9 +24,16 @@
 // line; cmd/tracestat turns such a file into a per-phase time breakdown
 // and convergence table. -progress draws a live best-so-far/evals-per-
 // second line on stderr. -metrics prints an aggregated counter/histogram
-// snapshot after the run. -cpuprofile/-memprofile write standard pprof
-// profiles. Telemetry is observational only: it draws no randomness, so
-// a traced run returns bit-identical results to an untraced one.
+// snapshot after the run; -metrics-addr serves the same snapshot live
+// over HTTP (/metrics, with /healthz for probes). Brokered and remote
+// runs carry a deterministic trace id (algo-problem-seed) on every
+// dispatched task, so cmd/tracestat can stitch the coordinator's trace
+// with the workers' (brokerd -trace) into one causal timeline; they
+// also keep a fixed-size in-memory flight recorder, dumped to the
+// -flight FILE when the run fails. -cpuprofile/-memprofile write
+// standard pprof profiles. Telemetry is observational only: it draws no
+// randomness, so a traced run returns bit-identical results to an
+// untraced one.
 //
 // -journal DIR records every evaluation in a crash-safe append-only log
 // under DIR: each record is checksummed and fsync'd before the search
@@ -120,33 +127,35 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		problem    = flag.String("problem", "LU", "MM|ATAX|COR|LU|HPL|RT")
-		annotation = flag.String("annotation", "", "path to an annotated kernel file (overrides -problem)")
-		machineN   = flag.String("machine", "Sandybridge", "target machine")
-		compilerN  = flag.String("compiler", "gnu-4.4.7", "compiler")
-		threads    = flag.Int("threads", 1, "OpenMP threads")
-		algo       = flag.String("algo", "rs", "rs|sa|ga|ps|ensemble")
-		nmax       = flag.Int("nmax", 100, "evaluation budget")
-		seed       = flag.Uint64("seed", 42, "random seed")
-		faultRate  = flag.Float64("faults", 0, "total injected failure rate in [0,1) (0 disables)")
-		retries    = flag.Int("retries", 2, "max retries per transient evaluation failure")
-		timeout    = flag.Float64("timeout", 0, "per-evaluation run-time cap in seconds (0 disables censoring)")
-		journalDir = flag.String("journal", "", "crash-safe journal directory (created or resumed)")
-		resumeDir  = flag.String("resume", "", "resume an interrupted run from its journal directory")
-		throttle   = flag.Duration("throttle", 0, "wall-clock pause per evaluation (makes simulated runs interruptible)")
-		workers    = flag.Int("workers", 0, "cap on OS threads for goroutine scheduling (0 = runtime default; results identical for any value)")
-		brokerOn   = flag.Bool("broker", false, "route evaluations through the fault-tolerant broker (queued workers, retries, circuit breakers; results identical either way)")
-		brokerW    = flag.Int("broker-workers", 0, "broker worker shards (0 = broker default; implies -broker)")
-		hedgeAfter = flag.Duration("hedge-after", 0, "broker hedged re-dispatch delay for straggling evaluations (0 disables; implies -broker)")
-		brokerRem  = flag.Bool("broker-remote", false, "serve evaluations to remote workers (cmd/brokerd) instead of in-process shards (requires -workers-addr)")
-		workAddr   = flag.String("workers-addr", "", "listen address for remote workers: unix:/path or [tcp:]host:port (implies -broker-remote)")
-		verbose    = flag.Bool("v", false, "print every evaluation")
-		emit       = flag.Bool("emit", false, "print the best variant as C code (kernel problems)")
-		traceFile  = flag.String("trace", "", "write a JSONL event trace to FILE (read with cmd/tracestat)")
-		progress   = flag.Bool("progress", false, "draw a live best-so-far/evals-per-sec line on stderr")
-		metrics    = flag.Bool("metrics", false, "print an aggregated metrics snapshot after the run")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to FILE")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile to FILE")
+		problem     = flag.String("problem", "LU", "MM|ATAX|COR|LU|HPL|RT")
+		annotation  = flag.String("annotation", "", "path to an annotated kernel file (overrides -problem)")
+		machineN    = flag.String("machine", "Sandybridge", "target machine")
+		compilerN   = flag.String("compiler", "gnu-4.4.7", "compiler")
+		threads     = flag.Int("threads", 1, "OpenMP threads")
+		algo        = flag.String("algo", "rs", "rs|sa|ga|ps|ensemble")
+		nmax        = flag.Int("nmax", 100, "evaluation budget")
+		seed        = flag.Uint64("seed", 42, "random seed")
+		faultRate   = flag.Float64("faults", 0, "total injected failure rate in [0,1) (0 disables)")
+		retries     = flag.Int("retries", 2, "max retries per transient evaluation failure")
+		timeout     = flag.Float64("timeout", 0, "per-evaluation run-time cap in seconds (0 disables censoring)")
+		journalDir  = flag.String("journal", "", "crash-safe journal directory (created or resumed)")
+		resumeDir   = flag.String("resume", "", "resume an interrupted run from its journal directory")
+		throttle    = flag.Duration("throttle", 0, "wall-clock pause per evaluation (makes simulated runs interruptible)")
+		workers     = flag.Int("workers", 0, "cap on OS threads for goroutine scheduling (0 = runtime default; results identical for any value)")
+		brokerOn    = flag.Bool("broker", false, "route evaluations through the fault-tolerant broker (queued workers, retries, circuit breakers; results identical either way)")
+		brokerW     = flag.Int("broker-workers", 0, "broker worker shards (0 = broker default; implies -broker)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "broker hedged re-dispatch delay for straggling evaluations (0 disables; implies -broker)")
+		brokerRem   = flag.Bool("broker-remote", false, "serve evaluations to remote workers (cmd/brokerd) instead of in-process shards (requires -workers-addr)")
+		workAddr    = flag.String("workers-addr", "", "listen address for remote workers: unix:/path or [tcp:]host:port (implies -broker-remote)")
+		verbose     = flag.Bool("v", false, "print every evaluation")
+		emit        = flag.Bool("emit", false, "print the best variant as C code (kernel problems)")
+		traceFile   = flag.String("trace", "", "write a JSONL event trace to FILE (read with cmd/tracestat)")
+		progress    = flag.Bool("progress", false, "draw a live best-so-far/evals-per-sec line on stderr")
+		metrics     = flag.Bool("metrics", false, "print an aggregated metrics snapshot after the run")
+		flightFile  = flag.String("flight", "", "dump the in-memory flight recorder (last events, spans included) to FILE when the run fails")
+		metricsAddr = flag.String("metrics-addr", "", "serve the live telemetry snapshot over HTTP on ADDR (/metrics and /healthz)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to FILE")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to FILE")
 	)
 	flag.Parse()
 
@@ -319,7 +328,7 @@ func run() int {
 		sinks = append(sinks, traceSink)
 	}
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *metricsAddr != "" {
 		reg = obs.NewRegistry()
 		sinks = append(sinks, obs.NewMetricsSink(reg))
 	}
@@ -328,7 +337,33 @@ func run() int {
 		prog = obs.NewProgressSink(os.Stderr, 0)
 		sinks = append(sinks, prog)
 	}
+	// The flight recorder is always on for brokered and remote runs: a
+	// fixed-size in-memory ring of the last events, persisted only when
+	// the run fails and -flight names a destination.
+	var rec *obs.Recorder
+	if *flightFile != "" || brokered || remoteOn {
+		rec = obs.NewRecorder(0)
+		sinks = append(sinks, rec)
+	}
 	ctx = obs.WithTracer(ctx, obs.New(obs.Multi(sinks...)))
+	// The run's trace context: a deterministic id derived from the run
+	// coordinates, so coordinator and worker traces of one run stitch by
+	// the same key (cmd/tracestat). Spans are only emitted on broker
+	// paths, and only when a sink is attached.
+	ctx = obs.WithTrace(ctx, obs.TraceContext{
+		TraceID: fmt.Sprintf("%s-%s-%d", *algo, p.Name(), *seed),
+		SpanID:  obs.RootSpanID,
+	})
+	if *metricsAddr != "" {
+		srv, serr := obs.ServeMetrics(*metricsAddr, reg)
+		if serr != nil {
+			warnf("metrics-addr: %v", serr)
+			return exitError
+		}
+		warnf("metrics at http://%s/metrics", srv.Addr())
+		// Best-effort teardown: the process is exiting either way.
+		defer func() { _ = srv.Close() }()
+	}
 	if inj != nil {
 		for _, w := range inj.Warnings() {
 			warnf("faults: %s", w)
@@ -363,7 +398,20 @@ func run() int {
 			warnf("trace: %v", cerr)
 		}
 	}
+	// A failed run persists its flight recording: the last events
+	// (spans included) leading up to the failure.
+	dumpFlight := func() {
+		if rec == nil || *flightFile == "" {
+			return
+		}
+		if derr := rec.Dump(*flightFile); derr != nil {
+			warnf("flight: %v", derr)
+		} else {
+			warnf("flight recording dumped to %s", *flightFile)
+		}
+	}
 	if err != nil {
+		dumpFlight()
 		warnf("%v", err)
 		if errors.Is(err, journal.ErrMetaMismatch) {
 			return exitUsage
@@ -414,6 +462,7 @@ func run() int {
 		return exitInterrupted
 	}
 	if !ok {
+		dumpFlight()
 		warnf("no successful evaluations (every configuration failed)")
 		return exitError
 	}

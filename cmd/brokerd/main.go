@@ -8,7 +8,8 @@
 //	brokerd -connect unix:/tmp/tune.sock [-label w1] [-heartbeat 25ms]
 //	        [-machine Sandybridge] [-compiler gnu-4.4.7] [-threads 1]
 //	        [-faults 0.3] [-retries 2] [-timeout 30] [-seed 42]
-//	        [-annotation FILE] [-metrics]
+//	        [-annotation FILE] [-metrics] [-trace FILE] [-flight FILE]
+//	        [-metrics-addr ADDR]
 //
 // The worker rebuilds the driver's evaluation stack locally from the
 // problem name each task carries: the simulated kernel or mini-app,
@@ -25,6 +26,12 @@
 // says goodbye. -metrics prints the worker's local telemetry snapshot
 // (evaluations by status, faults, retries) on exit; worker-side
 // telemetry is local to this process, not forwarded to the driver.
+// -trace appends the worker's JSONL trace — including worker-eval
+// spans keyed by the trace id each task carries on the wire — so
+// tracestat can stitch it with the driver's trace into one causal
+// timeline. -flight keeps a fixed-size in-memory flight recorder and
+// dumps it to FILE when the worker exits abnormally. -metrics-addr
+// serves the live snapshot over HTTP (/metrics, /healthz).
 //
 // Exit codes: 0 clean shutdown (driver said bye, or SIGINT/SIGTERM),
 // 1 runtime failure (reconnect budget exhausted), 2 bad usage.
@@ -67,18 +74,21 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		connect    = flag.String("connect", "", "driver address to connect to: unix:/path or [tcp:]host:port (required)")
-		label      = flag.String("label", "", "worker name in telemetry and driver logs (default: brokerd-<pid>)")
-		heartbeat  = flag.Duration("heartbeat", 0, "heartbeat period (0 = transport default)")
-		machineN   = flag.String("machine", "Sandybridge", "target machine (must match the driver)")
-		compilerN  = flag.String("compiler", "gnu-4.4.7", "compiler (must match the driver)")
-		threads    = flag.Int("threads", 1, "OpenMP threads (must match the driver)")
-		annotation = flag.String("annotation", "", "path to an annotated kernel file, served under its parsed name")
-		faultRate  = flag.Float64("faults", 0, "total injected failure rate in [0,1) (must match the driver)")
-		retries    = flag.Int("retries", 2, "max retries per transient evaluation failure (must match the driver)")
-		timeout    = flag.Float64("timeout", 0, "per-evaluation run-time cap in seconds (must match the driver)")
-		seed       = flag.Uint64("seed", 42, "random seed for the fault injector (must match the driver)")
-		metrics    = flag.Bool("metrics", false, "print the local telemetry snapshot on exit")
+		connect     = flag.String("connect", "", "driver address to connect to: unix:/path or [tcp:]host:port (required)")
+		label       = flag.String("label", "", "worker name in telemetry and driver logs (default: brokerd-<pid>)")
+		heartbeat   = flag.Duration("heartbeat", 0, "heartbeat period (0 = transport default)")
+		machineN    = flag.String("machine", "Sandybridge", "target machine (must match the driver)")
+		compilerN   = flag.String("compiler", "gnu-4.4.7", "compiler (must match the driver)")
+		threads     = flag.Int("threads", 1, "OpenMP threads (must match the driver)")
+		annotation  = flag.String("annotation", "", "path to an annotated kernel file, served under its parsed name")
+		faultRate   = flag.Float64("faults", 0, "total injected failure rate in [0,1) (must match the driver)")
+		retries     = flag.Int("retries", 2, "max retries per transient evaluation failure (must match the driver)")
+		timeout     = flag.Float64("timeout", 0, "per-evaluation run-time cap in seconds (must match the driver)")
+		seed        = flag.Uint64("seed", 42, "random seed for the fault injector (must match the driver)")
+		metrics     = flag.Bool("metrics", false, "print the local telemetry snapshot on exit")
+		traceFile   = flag.String("trace", "", "write worker-side JSONL trace to FILE (spans keyed by the driver's trace id; tracestat stitches it with the driver's trace)")
+		flightFile  = flag.String("flight", "", "dump the in-memory flight recorder (last events, spans included) to FILE on abnormal exit")
+		metricsAddr = flag.String("metrics-addr", "", "serve the live telemetry snapshot over HTTP on ADDR (/metrics and /healthz)")
 	)
 	flag.Parse()
 
@@ -102,12 +112,45 @@ func run() int {
 	}
 
 	// Worker-side telemetry: the resilient layer's fault/retry/censor
-	// events land here, local to this process (DESIGN.md §9).
+	// events and the worker-eval spans land here, local to this process
+	// (DESIGN.md §9/§10). Sinks compose: metrics aggregation, the JSONL
+	// trace tracestat stitches with the driver's by trace id, and the
+	// flight recorder dumped on abnormal exit.
+	var sinks []obs.Sink
 	var reg *obs.Registry
-	var tracer *obs.Tracer
-	if *metrics {
+	if *metrics || *metricsAddr != "" {
 		reg = obs.NewRegistry()
-		tracer = obs.New(obs.NewMetricsSink(reg))
+		sinks = append(sinks, obs.NewMetricsSink(reg))
+	}
+	var jsonl *obs.JSONLSink
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			warnf("-trace: %v", err)
+			return exitError
+		}
+		jsonl = obs.NewJSONLSink(f)
+		sinks = append(sinks, jsonl)
+	}
+	var rec *obs.Recorder
+	if *flightFile != "" {
+		rec = obs.NewRecorder(0)
+		sinks = append(sinks, rec)
+	}
+	var tracer *obs.Tracer
+	if len(sinks) > 0 {
+		tracer = obs.New(obs.Multi(sinks...))
+	}
+
+	if *metricsAddr != "" {
+		srv, err := obs.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			warnf("-metrics-addr: %v", err)
+			return exitError
+		}
+		warnf("metrics at http://%s/metrics", srv.Addr())
+		// Best-effort teardown: the process is exiting either way.
+		defer func() { _ = srv.Close() }()
 	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -123,7 +166,12 @@ func run() int {
 	err = w.Run(ctx, func(ctx context.Context) (net.Conn, error) {
 		return remote.Dial(ctx, *connect)
 	})
-	if reg != nil {
+	if jsonl != nil {
+		if ferr := jsonl.Close(); ferr != nil {
+			warnf("-trace: %v", ferr)
+		}
+	}
+	if reg != nil && *metrics {
 		fmt.Print(reg.Snapshot())
 	}
 	switch {
@@ -134,6 +182,15 @@ func run() int {
 		warnf("interrupted, shutting down")
 		return exitOK
 	default:
+		// Abnormal exit: persist the flight recorder so the last events
+		// before the failure survive the process.
+		if rec != nil {
+			if derr := rec.Dump(*flightFile); derr != nil {
+				warnf("-flight: %v", derr)
+			} else {
+				warnf("flight recording dumped to %s", *flightFile)
+			}
+		}
 		warnf("%v", err)
 		return exitError
 	}

@@ -4,7 +4,7 @@
 //
 //	experiments [-exp all|fig1,fig3,table4] [-seed N] [-quick]
 //	            [-nmax N] [-pool N] [-trees N] [-workers N] [-outdir DIR]
-//	            [-values] [-metrics] [-resume DIR]
+//	            [-values] [-metrics] [-metrics-addr ADDR] [-resume DIR]
 //
 // Each experiment prints its report to stdout. With -outdir, the tables
 // are additionally written as CSV, the named values as <id>-values.txt,
@@ -12,7 +12,9 @@
 // status, prune skips, model latency) as <id>-metrics.txt; every file is
 // written to a temporary name and atomically renamed, so a crash never
 // leaves a half-written report. -metrics also prints the snapshot to
-// stdout after each report.
+// stdout after each report. -metrics-addr serves a live cross-
+// experiment aggregate of the same counters over HTTP (/metrics, with
+// /healthz for probes) for the duration of the sweep.
 //
 // -workers N bounds the worker goroutines each experiment spreads its
 // independent cells over (0, the default, uses one per CPU). Every cell
@@ -42,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 const (
@@ -71,6 +74,7 @@ func run() int {
 		brokerR = flag.Bool("broker-remote", false, "serve evaluations to remote workers (cmd/brokerd) instead of in-process shards (requires -workers-addr)")
 		wrkAddr = flag.String("workers-addr", "", "listen address for remote workers: unix:/path or [tcp:]host:port (implies -broker-remote)")
 		resume  = flag.String("resume", "", "resume an interrupted sweep from DIR's progress file (implies -outdir DIR)")
+		mAddr   = flag.String("metrics-addr", "", "serve a live cross-experiment telemetry snapshot over HTTP on ADDR (/metrics and /healthz)")
 	)
 	flag.Parse()
 
@@ -138,6 +142,22 @@ func run() int {
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
+	// The live metrics endpoint aggregates across the whole sweep: each
+	// experiment composes the context tracer's sink into its own, so the
+	// served registry sums every experiment run so far.
+	if *mAddr != "" {
+		reg := obs.NewRegistry()
+		srv, err := obs.ServeMetrics(*mAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics-addr: %v\n", err)
+			return exitError
+		}
+		fmt.Fprintf(os.Stderr, "experiments: metrics at http://%s/metrics\n", srv.Addr())
+		// Best-effort teardown: the process is exiting either way.
+		defer func() { _ = srv.Close() }()
+		ctx = obs.WithTracer(ctx, obs.New(obs.NewMetricsSink(reg)))
+	}
 
 	interrupted := false
 	for _, id := range ids {

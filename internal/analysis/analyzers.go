@@ -6,5 +6,5 @@ package analysis
 // common-random-numbers comparisons (PAPER.md §IV-D) or the crash-safe
 // persistence layer depend on. DESIGN.md documents the mapping.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterm, CtxFlow, RNGStream, FloatCmp, ErrSink}
+	return []*Analyzer{NoDeterm, CtxFlow, RNGStream, FloatCmp, ErrSink, ObsTime}
 }

@@ -149,3 +149,20 @@ func TestErrSinkFixture(t *testing.T) {
 	pkg, diags := lintFixture(t, "errsink", ErrSink)
 	checkWants(t, pkg, diags)
 }
+
+func TestObsTimeFixture(t *testing.T) {
+	pkg, diags := lintFixture(t, "obstime", ObsTime)
+	if !ObsTime.Match(pkg.Path) {
+		t.Fatalf("obstime Match rejects %q; the fixture no longer exercises the analyzer", pkg.Path)
+	}
+	checkWants(t, pkg, diags)
+}
+
+// TestObsTimeExemptsObsPackage pins the sanctioned location: the obs
+// package itself (where Tracer.Span stamps wall time and Stopwatch
+// reads the clock) is outside the analyzer's scope by construction.
+func TestObsTimeExemptsObsPackage(t *testing.T) {
+	if ObsTime.Match("repro/internal/obs") {
+		t.Fatal("obstime runs over internal/obs; the sanctioned timing helpers would flag themselves")
+	}
+}

@@ -47,14 +47,14 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry pins the suite's shape: the five analyzers the
+// TestAnalyzerRegistry pins the suite's shape: the six analyzers the
 // documentation promises, each named, documented, and runnable.
 func TestAnalyzerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 5 {
-		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	if len(all) != 6 {
+		t.Fatalf("All() returned %d analyzers, want 6", len(all))
 	}
-	want := map[string]bool{"nodeterm": true, "ctxflow": true, "rngstream": true, "floatcmp": true, "errsink": true}
+	want := map[string]bool{"nodeterm": true, "ctxflow": true, "rngstream": true, "floatcmp": true, "errsink": true, "obstime": true}
 	seen := map[string]bool{}
 	for _, a := range all {
 		if !want[a.Name] {

@@ -1,0 +1,38 @@
+// Package obstime is the fixture for the obstime analyzer: wall-clock
+// reads captured at obs emission sites are findings; the sanctioned
+// obs.Stopwatch helpers and clock reads away from emission sites are
+// not (the latter are nodeterm's business, and only in hot paths).
+package obstime
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+func emit(tr *obs.Tracer, sink obs.Sink, t0 time.Time) {
+	tr.ModelFit("refit", 3, time.Since(t0)) // want "obstime: wall clock captured in argument to obs emission Tracer.ModelFit"
+
+	// The sanctioned path: a Stopwatch measures, the emission site only
+	// forwards the result.
+	sw := obs.StartTimer()
+	tr.ModelFit("refit", 3, sw.Elapsed())
+
+	tr.Span(obs.TraceContext{TraceID: "t"}, "dispatch", 0, 1, "w1", time.Since(t0)) // want "obstime: wall clock captured in argument to obs emission Tracer.Span"
+
+	// Nested inside a larger argument expression still counts.
+	tr.JournalAppend(1, time.Since(t0)+time.Millisecond) // want "obstime: wall clock captured in argument to obs emission Tracer.JournalAppend"
+
+	// Event literals are emission sites too, wherever they flow.
+	sink.Emit(obs.Event{Kind: obs.KindEval, Wall: time.Now().UnixNano()}) // want "obstime: wall clock captured in obs.Event literal"
+
+	e := obs.Event{Kind: obs.KindSpan, Dur: time.Since(t0)} // want "obstime: wall clock captured in obs.Event literal"
+	sink.Emit(e)
+
+	// A clock read that feeds no emission site is out of scope here.
+	cutoff := time.Now().Add(-time.Minute)
+	_ = cutoff
+
+	// Duration constants and arithmetic at the emission site stay fine.
+	tr.Checkpoint(7, false, 5*time.Millisecond)
+}

@@ -41,6 +41,7 @@ package broker
 import (
 	"context"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -221,12 +222,13 @@ func (b *Broker) Close() {
 // the underlying problem run exactly once no matter how many copies —
 // hedges, retries, inline fallbacks — race to execute it.
 type task struct {
-	seq  int
-	p    search.Problem
-	c    space.Config
-	ctx  context.Context
-	tr   *obs.Tracer
-	done chan struct{}
+	seq   int
+	p     search.Problem
+	c     space.Config
+	ctx   context.Context
+	tr    *obs.Tracer
+	trace obs.TraceContext
+	done  chan struct{}
 
 	mu       sync.Mutex
 	claimed  bool
@@ -252,6 +254,7 @@ func (t *task) outcome() search.Outcome {
 // inline execution; degraded marks the outcome when the broker fell
 // back to inline execution through a failure path.
 func (t *task) execute(b *Broker, worker int, degraded bool) {
+	attempt := int(t.dispatches.Load())
 	t.mu.Lock()
 	if t.claimed {
 		hedgeLoser := t.finished && t.hedged.Load() && worker >= 0
@@ -260,24 +263,43 @@ func (t *task) execute(b *Broker, worker int, degraded bool) {
 			// The winning copy already completed; this copy's slot was the
 			// hedge's wasted work.
 			t.tr.Hedge(b.opt.Label, t.seq, true)
+			t.tr.Span(t.trace, "hedge-loss", t.seq, attempt, workerLabel(worker), 0)
 		}
 		return
 	}
 	t.claimed = true
 	t.mu.Unlock()
 
+	traced := t.tr.Enabled() && t.trace.Valid()
+	var sw obs.Stopwatch
+	if traced {
+		sw = obs.StartTimer()
+	}
 	out := search.EvaluateFull(t.ctx, t.p, t.c)
 	out.Degraded = out.Degraded || degraded
+	if traced {
+		t.tr.Span(t.trace, "worker-eval", t.seq, attempt, workerLabel(worker), sw.Elapsed())
+	}
 
 	t.mu.Lock()
 	t.out = out
 	t.finished = true
 	t.mu.Unlock()
 	close(t.done)
+	t.tr.Span(t.trace, "result", t.seq, attempt, workerLabel(worker), 0)
 
 	if !out.Interrupted() {
 		b.taskCompleted(worker, t.tr)
 	}
+}
+
+// workerLabel names an execution site for span events: an in-process
+// shard index, or "inline" for the caller's own goroutine.
+func workerLabel(w int) string {
+	if w < 0 {
+		return "inline"
+	}
+	return "shard-" + strconv.Itoa(w)
 }
 
 // Evaluate submits one evaluation of c on p and blocks until a result is
@@ -292,13 +314,18 @@ func (b *Broker) Evaluate(ctx context.Context, p search.Problem, c space.Config)
 	tr := obs.FromContext(ctx)
 	t := &task{
 		p: p, c: c, ctx: ctx, tr: tr,
-		done: make(chan struct{}),
+		trace: obs.TraceFrom(ctx),
+		done:  make(chan struct{}),
 	}
 
 	b.mu.Lock()
 	t.seq = b.seq
 	b.seq++
 	b.mu.Unlock()
+
+	// The task's anchor span (parent: the run root); every later stage of
+	// this evaluation's causal chain hangs below it.
+	tr.SpanRoot(t.trace, t.seq, -1)
 
 	if b.allQuarantined() {
 		// Graceful degradation: no healthy worker exists, so evaluate
@@ -325,6 +352,7 @@ func (b *Broker) Evaluate(ctx context.Context, p search.Problem, c space.Config)
 		select {
 		case b.queue <- t:
 			tr.Enqueue(b.opt.Label, t.seq, depth, "")
+			tr.Span(t.trace, "enqueue", t.seq, 0, "", 0)
 		default:
 			tr.Enqueue(b.opt.Label, t.seq, depth, "shed")
 			t.execute(b, -1, false)
@@ -336,6 +364,7 @@ func (b *Broker) Evaluate(ctx context.Context, p search.Problem, c space.Config)
 			select {
 			case b.queue <- t:
 				tr.Enqueue(b.opt.Label, t.seq, depth, "")
+				tr.Span(t.trace, "enqueue", t.seq, 0, "", 0)
 				break enqueue
 			case <-ctx.Done():
 				t.cancelled.Store(true)
@@ -468,6 +497,8 @@ func (b *Broker) runTask(w int, t *task) {
 		return
 	}
 	d := int(t.dispatches.Add(1))
+	t.tr.SpanRoot(t.trace, t.seq, d)
+	t.tr.Span(t.trace, "dispatch", t.seq, d, workerLabel(w), 0)
 	if b.opt.Faults != nil {
 		if stall := b.opt.Faults.Stall(w, t.seq, d); stall > 0 {
 			timer := time.NewTimer(stall)

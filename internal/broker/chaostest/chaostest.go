@@ -21,11 +21,13 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/broker"
 	"repro/internal/faults"
 	"repro/internal/journal/crashtest"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/search"
 	"repro/internal/space"
@@ -140,6 +142,14 @@ func watchdogTimeout() time.Duration {
 func (t Trial) Run() error {
 	ref := search.RS(context.Background(), newFaulty(t.Seed), t.NMax, rng.New(t.Seed))
 
+	// The flight recorder is always on for the chaos run: it buffers the
+	// last-N events (spans included) in memory and is only persisted when
+	// the trial fails, so a red run always carries its narrative.
+	rec := obs.NewRecorder(0)
+	flight := "chaos-" + strconv.FormatUint(t.Seed, 10)
+	ctx := obs.WithTracer(context.Background(), obs.New(rec))
+	ctx = obs.WithTrace(ctx, obs.TraceContext{TraceID: flight, SpanID: obs.RootSpanID})
+
 	b := broker.New(broker.Options{
 		Workers:          t.Workers,
 		QueueDepth:       t.QueueDepth,
@@ -160,15 +170,16 @@ func (t Trial) Run() error {
 
 	done := make(chan *search.Result, 1)
 	go func() {
-		done <- search.RS(context.Background(), b.Problem(newFaulty(t.Seed)), t.NMax, rng.New(t.Seed))
+		done <- search.RS(ctx, b.Problem(newFaulty(t.Seed)), t.NMax, rng.New(t.Seed))
 	}()
 	select {
 	case res := <-done:
 		if err := crashtest.Compare(ref, res); err != nil {
-			return fmt.Errorf("chaos trial %+v: %w", t, err)
+			return flightFail(rec, flight, fmt.Errorf("chaos trial %+v: %w", t, err))
 		}
 		return nil
 	case <-time.After(watchdogTimeout()):
-		return fmt.Errorf("chaos trial %+v: search did not terminate within %v", t, watchdogTimeout())
+		return flightFail(rec, flight,
+			fmt.Errorf("chaos trial %+v: search did not terminate within %v", t, watchdogTimeout()))
 	}
 }

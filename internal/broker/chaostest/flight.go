@@ -1,0 +1,43 @@
+package chaostest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// FlightDirEnv names the directory chaos trials dump their flight
+// recordings into on failure. Unset, no dump is written — the recorder
+// still runs (it is always on), the story is just not persisted. CI
+// sets this and uploads the directory as a failure-only artifact, so
+// every red chaos run comes with its last-N-events narrative.
+const FlightDirEnv = "REPRO_FLIGHT_DIR"
+
+// dumpFlight persists rec to $REPRO_FLIGHT_DIR/<name>.jsonl and returns
+// the written path, or "" when the env is unset or the write failed (a
+// failing trial must report its own error, never a dump error).
+func dumpFlight(rec *obs.Recorder, name string) string {
+	dir := os.Getenv(FlightDirEnv)
+	if dir == "" {
+		return ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	path := filepath.Join(dir, name+".jsonl")
+	if err := rec.Dump(path); err != nil {
+		return ""
+	}
+	return path
+}
+
+// flightFail decorates a trial failure with its flight recording's
+// location, when one was written.
+func flightFail(rec *obs.Recorder, name string, err error) error {
+	if path := dumpFlight(rec, name); path != "" {
+		return fmt.Errorf("%w (flight recording: %s)", err, path)
+	}
+	return err
+}

@@ -1,0 +1,115 @@
+package chaostest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestForcedFailureDumpsFlightRecording deliberately fails a remote
+// chaos trial and asserts the flight-recorder dump it leaves behind
+// tells the whole story: a JSONL artifact at the advertised path whose
+// span events reconstruct at least one task's full causal chain —
+// task, enqueue, attempt, dispatch, lease, worker-eval, result — under
+// the trial's TraceID.
+func TestForcedFailureDumpsFlightRecording(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(FlightDirEnv, dir)
+
+	trial := RemoteTrial{
+		Seed:           77,
+		NMax:           12,
+		Workers:        2,
+		LeaseTicks:     8,
+		TickEvery:      5 * time.Millisecond,
+		MaxMissedBeats: 60,
+		BeatEvery:      2 * time.Millisecond,
+		ForceFailure:   true,
+	}
+	err := trial.Run()
+	if err == nil {
+		t.Fatal("ForceFailure trial reported success")
+	}
+	path := filepath.Join(dir, "remote-chaos-77.jsonl")
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("failure %q does not advertise the dump at %s", err, path)
+	}
+
+	f, ferr := os.Open(path)
+	if ferr != nil {
+		t.Fatalf("open dump: %v", ferr)
+	}
+	defer f.Close()
+	events, skipped, rerr := obs.ReadTraceLenient(f)
+	if rerr != nil {
+		t.Fatalf("read dump: %v", rerr)
+	}
+	if skipped != 0 {
+		t.Errorf("dump has %d unparsable lines", skipped)
+	}
+	if len(events) == 0 {
+		t.Fatal("dump is empty")
+	}
+
+	chains := map[int]map[string]bool{}
+	for _, e := range events {
+		if e.Kind != obs.KindSpan {
+			continue
+		}
+		if e.Trace != "remote-chaos-77" {
+			t.Fatalf("span with foreign trace id: %+v", e)
+		}
+		if e.Wall == 0 {
+			t.Fatalf("span without a wall timestamp: %+v", e)
+		}
+		if chains[e.Seq] == nil {
+			chains[e.Seq] = map[string]bool{}
+		}
+		chains[e.Seq][e.Detail] = true
+	}
+	want := []string{"task", "enqueue", "attempt", "dispatch", "lease", "worker-eval", "result"}
+	full := 0
+	for _, stages := range chains {
+		complete := true
+		for _, stage := range want {
+			if !stages[stage] {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatalf("no task in the dump carries a full span chain %v; chains: %v", want, chains)
+	}
+}
+
+// TestFlightDumpSkippedWithoutDir pins the quiet path: with the env
+// unset a failed trial still fails, but no dump is written or
+// advertised.
+func TestFlightDumpSkippedWithoutDir(t *testing.T) {
+	t.Setenv(FlightDirEnv, "")
+	trial := RemoteTrial{
+		Seed:           78,
+		NMax:           6,
+		Workers:        1,
+		LeaseTicks:     8,
+		TickEvery:      5 * time.Millisecond,
+		MaxMissedBeats: 60,
+		BeatEvery:      2 * time.Millisecond,
+		ForceFailure:   true,
+	}
+	err := trial.Run()
+	if err == nil {
+		t.Fatal("ForceFailure trial reported success")
+	}
+	if strings.Contains(err.Error(), "flight recording") {
+		t.Fatalf("failure %q advertises a dump with no dump dir set", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -47,6 +48,11 @@ type RemoteTrial struct {
 	// replays any evaluation whose result frame died with the
 	// connection.
 	KillEvery int
+	// ForceFailure makes Run report a synthetic failure after the trial
+	// completes (regardless of outcome), exercising the flight-recorder
+	// dump path end to end. Test hook only: the dump of a deliberately
+	// failed trial must contain the failing run's full span chains.
+	ForceFailure bool
 }
 
 // RandomRemoteTrial derives remote trial i of a campaign from named rng
@@ -105,6 +111,14 @@ func (t RemoteTrial) Run() error {
 	p := newFaulty(t.Seed)
 	guard := remote.NewEvalGuard()
 
+	// The always-on flight recorder and the trial's trace context: every
+	// span of the run's causal chains lands in the ring, and a failed
+	// trial dumps it as its JSONL narrative.
+	rec := obs.NewRecorder(0)
+	flight := "remote-chaos-" + strconv.FormatUint(t.Seed, 10)
+	mem := &obs.MemorySink{}
+	tr := obs.New(obs.Multi(mem, rec))
+
 	// Track live connections so the killer can sever the newest one.
 	var connMu sync.Mutex
 	var conns []net.Conn
@@ -125,6 +139,7 @@ func (t RemoteTrial) Run() error {
 			BackoffCap:  10 * time.Millisecond,
 			MaxAttempts: 1 << 20, // killed connections must never exhaust the dial budget
 			Faults:      t.Net,
+			Tracer:      tr, // worker-eval spans join the recorder's chains
 		}
 		dial := func(ctx context.Context) (net.Conn, error) {
 			if err := ctx.Err(); err != nil {
@@ -148,8 +163,8 @@ func (t RemoteTrial) Run() error {
 		}()
 	}
 
-	mem := &obs.MemorySink{}
-	ctx := obs.WithTracer(context.Background(), obs.New(mem))
+	ctx := obs.WithTracer(context.Background(), tr)
+	ctx = obs.WithTrace(ctx, obs.TraceContext{TraceID: flight, SpanID: obs.RootSpanID})
 	done := make(chan *search.Result, 1)
 	go func() {
 		done <- search.RS(ctx, b.Problem(p), t.NMax, rng.New(t.Seed))
@@ -187,10 +202,15 @@ func (t RemoteTrial) Run() error {
 	select {
 	case res := <-done:
 		if err := crashtest.Compare(ref, res); err != nil {
-			return fmt.Errorf("remote chaos trial %+v: %w", t, err)
+			return flightFail(rec, flight, fmt.Errorf("remote chaos trial %+v: %w", t, err))
+		}
+		if t.ForceFailure {
+			return flightFail(rec, flight,
+				fmt.Errorf("remote chaos trial %+v: failure forced to validate the flight-recorder dump", t))
 		}
 		return nil
 	case <-time.After(watchdogTimeout()):
-		return fmt.Errorf("remote chaos trial %+v: search did not terminate within %v", t, watchdogTimeout())
+		return flightFail(rec, flight,
+			fmt.Errorf("remote chaos trial %+v: search did not terminate within %v", t, watchdogTimeout()))
 	}
 }

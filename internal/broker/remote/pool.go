@@ -74,6 +74,7 @@ type lease struct {
 	h       *broker.Task
 	session int
 	ticks   int
+	attempt int // dispatch ordinal the lease was granted for
 }
 
 // Pool is the broker's external dispatcher: it pulls queued tasks with
@@ -317,18 +318,24 @@ func (p *Pool) dispatch(h *broker.Task) {
 		}
 	}
 	best.outstanding++
-	p.leases[seq] = &lease{h: h, session: best.id, ticks: p.opt.LeaseTicks}
+	p.leases[seq] = &lease{h: h, session: best.id, ticks: p.opt.LeaseTicks, attempt: attempt}
 	sid := best.id
+	slabel := best.label
 	fc := best.fc
 	p.mu.Unlock()
 
 	h.Tracer().Lease(p.opt.Label, seq, sid, "grant")
+	tc := h.Trace()
+	h.Tracer().SpanRoot(tc, seq, attempt)
+	h.Tracer().Span(tc, "dispatch", seq, attempt, slabel, 0)
+	h.Tracer().Span(tc, "lease", seq, attempt, slabel, 0)
 	task := &TaskPayload{
 		Seq:         seq,
 		Problem:     h.ProblemName(),
 		Config:      h.Config(),
 		Attempt:     attempt,
 		RemainingNS: remaining,
+		Trace:       tc.TraceID,
 	}
 	if err := fc.write(Frame{Type: MsgTask, Task: task}); err != nil {
 		// The connection is going down; the read loop will reap the
@@ -406,6 +413,11 @@ func (p *Pool) handleResult(s *session, r *ResultPayload) {
 		p.tr.Lease(p.opt.Label, r.Seq, s.id, "dup-result")
 		return
 	}
+	tc := l.h.Trace()
+	attempt := r.Attempt
+	if attempt == 0 {
+		attempt = l.attempt
+	}
 	if r.Interrupted {
 		// The worker could not complete the evaluation (cancelled
 		// mid-flight, or it could not resolve the problem). Never settle
@@ -423,7 +435,12 @@ func (p *Pool) handleResult(s *session, r *ResultPayload) {
 	}
 	if !l.h.Complete(outcomeFromWire(r)) {
 		p.tr.Lease(p.opt.Label, r.Seq, s.id, "dup-result")
+		// The claim was already taken: this copy's work was the hedge's
+		// (or a reclaimed lease's) wasted half.
+		l.h.Tracer().Span(tc, "hedge-loss", r.Seq, attempt, s.label, 0)
+		return
 	}
+	l.h.Tracer().Span(tc, "result", r.Seq, attempt, s.label, 0)
 }
 
 // reapSession removes a finished session and reclaims its leases.

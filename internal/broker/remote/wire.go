@@ -104,6 +104,12 @@ type TaskPayload struct {
 	// remaining duration — never an absolute time, so clock skew between
 	// broker and worker cannot distort it. 0 means no deadline.
 	RemainingNS int64 `json:"remaining_ns,omitempty"`
+	// Trace is the submission's TraceID. It is the only trace state on
+	// the wire: span ids are pure functions of (Seq, Attempt, stage), so
+	// the worker re-derives them locally and its spans join the
+	// coordinator's causal chain without further coordination. Empty when
+	// the run is untraced.
+	Trace string `json:"trace,omitempty"`
 }
 
 // ResultPayload ships one outcome back. Float fields use wireFloat
@@ -116,6 +122,10 @@ type ResultPayload struct {
 	Retries  int       `json:"retries"`
 	Degraded bool      `json:"degraded,omitempty"`
 	Err      string    `json:"err,omitempty"`
+	// Attempt echoes the dispatch ordinal the task arrived with, so the
+	// pool's result span lands on the attempt that actually produced it
+	// (a late frame from a reclaimed lease carries its old ordinal).
+	Attempt int `json:"attempt,omitempty"`
 	// Interrupted marks an evaluation the worker could not complete
 	// (its context was cancelled mid-flight). Interrupted results never
 	// settle a task — the pool lets the lease expire and re-dispatches.

@@ -270,10 +270,31 @@ func (w *Worker) evaluate(ctx context.Context, t *TaskPayload) *ResultPayload {
 	if w.Tracer != nil {
 		ctx = obs.WithTracer(ctx, w.Tracer)
 	}
+	// The worker-eval span is emitted only by the copy that actually ran
+	// the problem — a guard replay answers from cache and did no work.
+	// Span ids are re-derived from (Seq, Attempt), so this span joins the
+	// coordinator's chain through the TraceID alone.
+	traced := w.Tracer.Enabled() && t.Trace != ""
+	ran := false
+	var dur time.Duration
 	out := w.Guard.Do(t.Seq, func() search.Outcome {
-		return search.EvaluateFull(ctx, p, space.Config(t.Config))
+		ran = true
+		var sw obs.Stopwatch
+		if traced {
+			sw = obs.StartTimer()
+		}
+		o := search.EvaluateFull(ctx, p, space.Config(t.Config))
+		if traced {
+			dur = sw.Elapsed()
+		}
+		return o
 	})
-	return outcomeToWire(t.Seq, out)
+	if traced && ran {
+		w.Tracer.Span(obs.TraceContext{TraceID: t.Trace}, "worker-eval", t.Seq, t.Attempt, w.Label, dur)
+	}
+	res := outcomeToWire(t.Seq, out)
+	res.Attempt = t.Attempt
+	return res
 }
 
 // Run keeps a worker connected: dial, Serve, and on connection failure

@@ -84,6 +84,15 @@ func (h *Task) BeginDispatch() int { return int(h.t.dispatches.Add(1)) }
 // (lease grants, reclaims) belong on it.
 func (h *Task) Tracer() *obs.Tracer { return h.t.tr }
 
+// Trace is the submission's trace context. The dispatcher propagates
+// its TraceID across the wire so worker-side spans join the same causal
+// chain; span ids themselves are re-derived from (seq, attempt) on the
+// far side.
+func (h *Task) Trace() obs.TraceContext { return h.t.trace }
+
+// Attempt is the latest dispatch ordinal recorded by BeginDispatch.
+func (h *Task) Attempt() int { return int(h.t.dispatches.Load()) }
+
 // Complete settles the task with a remotely produced outcome. It
 // reports whether this outcome won the claim: false means another copy
 // (a duplicate delivery, a reclaimed lease's re-dispatch, or an inline

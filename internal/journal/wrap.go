@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -168,15 +167,15 @@ func (w *Recorder) EvaluateFull(ctx context.Context, c space.Config) search.Outc
 		Status: out.Status, Retries: out.Retries,
 	}
 	tr := obs.FromContext(ctx)
-	var t0 time.Time
+	var sw obs.Stopwatch
 	if tr.Enabled() {
-		t0 = time.Now()
+		sw = obs.StartTimer()
 	}
 	if err := w.s.Append(rec); err != nil {
 		return w.abort(fmt.Errorf("%v: %w", err, search.ErrAborted))
 	}
 	if tr.Enabled() {
-		tr.JournalAppend(w.idx, time.Since(t0))
+		tr.JournalAppend(w.idx, sw.Elapsed())
 	}
 	w.idx++
 	w.elapsed += out.Cost
@@ -187,13 +186,13 @@ func (w *Recorder) EvaluateFull(ctx context.Context, c space.Config) search.Outc
 	if w.sinceCp >= w.opts.CheckpointEvery {
 		w.sinceCp = 0
 		if tr.Enabled() {
-			t0 = time.Now()
+			sw = obs.StartTimer()
 		}
 		if err := w.s.WriteCheckpoint(false, 0, w.lastStates); err != nil {
 			return w.abort(fmt.Errorf("%v: %w", err, search.ErrAborted))
 		}
 		if tr.Enabled() {
-			tr.Checkpoint(w.idx, false, time.Since(t0))
+			tr.Checkpoint(w.idx, false, sw.Elapsed())
 		}
 	}
 	return out
@@ -375,15 +374,15 @@ func finalize(ctx context.Context, s *Session, w *Recorder, res *search.Result, 
 	}
 	info.Done = ctx.Err() == nil
 	tr := obs.FromContext(ctx)
-	var t0 time.Time
+	var sw obs.Stopwatch
 	if tr.Enabled() {
-		t0 = time.Now()
+		sw = obs.StartTimer()
 	}
 	if err := s.WriteCheckpoint(info.Done, res.Skipped, w.lastStates); err != nil {
 		return nil, info, err
 	}
 	if tr.Enabled() {
-		tr.Checkpoint(s.Len(), info.Done, time.Since(t0))
+		tr.Checkpoint(s.Len(), info.Done, sw.Elapsed())
 	}
 	return res, info, nil
 }

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// MetricsServer is the zero-dependency observability endpoint shared by
+// cmd/autotune, cmd/experiments, and cmd/brokerd: plain net/http serving
+// the registry's text snapshot at /metrics and a liveness probe at
+// /healthz. It exists for operators poking at a live run — nothing in
+// the search path depends on it, and it reads the registry through the
+// same atomic/locked accessors the sinks write through, so scraping
+// cannot perturb results.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeMetrics starts serving reg on addr (e.g. "127.0.0.1:9090", or
+// ":0" to pick a free port) in a background goroutine. Close the
+// returned server when done.
+func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s := &MetricsServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address, useful with ":0".
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *MetricsServer) Close() error { return s.srv.Close() }

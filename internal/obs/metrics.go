@@ -261,6 +261,12 @@ const (
 	MetricRemoteLeaseExpired  = "broker.remote.lease-expired"
 	MetricRemoteDupResults    = "broker.remote.dup-results"
 	MetricRemoteReconnects    = "broker.remote.reconnects"
+
+	// Distributed-tracing metrics. Span counts follow real scheduling
+	// (retries, hedges, lease churn), so they vary between runs like the
+	// broker.* family.
+	MetricSpans       = "trace.spans"
+	MetricSpansPrefix = "trace.spans." // + stage
 )
 
 // MetricsSink folds trace events into a Registry: evaluation counts by
@@ -380,5 +386,10 @@ func (m *MetricsSink) Emit(e Event) {
 		}
 	case KindReconnect:
 		m.reg.Counter(MetricRemoteReconnects).Inc()
+	case KindSpan:
+		m.reg.Counter(MetricSpans).Inc()
+		if e.Detail != "" {
+			m.reg.Counter(MetricSpansPrefix + e.Detail).Inc()
+		}
 	}
 }

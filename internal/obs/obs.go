@@ -127,6 +127,19 @@ const (
 	// broker connection: N is the attempt, Cost the backoff pause in
 	// seconds, Detail the triggering error.
 	KindReconnect
+	// KindSpan is one stage of a distributed evaluation's causal chain:
+	// Trace/Span/Parent identify the span in its trace tree, Detail names
+	// the stage ("enqueue", "dispatch", "lease", "worker-eval", "result",
+	// "hedge-loss", ...), Seq is the task, N the dispatch attempt, Worker
+	// the executing worker's label, Dur the stage's wall time and Wall its
+	// completion timestamp. Spans follow real scheduling (which worker won,
+	// when leases expired), so they are scheduling-dependent like
+	// KindWorkerTask: they describe the harness, never the result.
+	KindSpan
+
+	// kindSentinel marks the end of the Kind block. Every kind below it
+	// must have a kindNames entry; TestKindNamesExhaustive enforces that.
+	kindSentinel
 )
 
 var kindNames = map[Kind]string{
@@ -156,6 +169,7 @@ var kindNames = map[Kind]string{
 	KindHeartbeatMiss: "heartbeat-miss",
 	KindLease:         "lease",
 	KindReconnect:     "reconnect",
+	KindSpan:          "span",
 }
 
 // String names the kind as it appears in traces.
@@ -215,10 +229,24 @@ type Event struct {
 	Detail  string  `json:"detail,omitempty"`
 	// N is a kind-specific count (batch size, attempt, cursor, ...).
 	N int `json:"n,omitempty"`
-	// Dur is measured wall time, serialized as nanoseconds. It is the
-	// only non-deterministic field: it describes the harness, never the
+	// Dur is measured wall time, serialized as nanoseconds. Like Wall
+	// below it is non-deterministic: it describes the harness, never the
 	// simulated experiment.
 	Dur time.Duration `json:"wall_ns,omitempty"`
+	// Trace / Span / Parent place the event in a distributed causal
+	// chain (KindSpan): Trace identifies the whole run's trace, Span this
+	// stage, Parent the stage that caused it. Span ids are pure functions
+	// of (seq, attempt, stage), so coordinator and worker processes
+	// compute identical ids without coordination.
+	Trace  string `json:"trace,omitempty"`
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Worker labels the process/shard that executed the span's stage.
+	Worker string `json:"worker,omitempty"`
+	// Wall is the event's wall-clock completion timestamp in unix
+	// nanoseconds, stamped inside Tracer.Span — never by callers — so
+	// emission sites stay clock-free. Non-deterministic, like Dur.
+	Wall int64 `json:"wall,omitempty"`
 }
 
 // jsonFloat encodes a float64 for traces, representing the non-finite
@@ -281,6 +309,11 @@ type eventJSON struct {
 	Detail  string        `json:"detail,omitempty"`
 	N       int           `json:"n,omitempty"`
 	Dur     time.Duration `json:"wall_ns,omitempty"`
+	Trace   string        `json:"trace,omitempty"`
+	Span    uint64        `json:"span,omitempty"`
+	Parent  uint64        `json:"parent,omitempty"`
+	Worker  string        `json:"worker,omitempty"`
+	Wall    int64         `json:"wall,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler via the non-finite-safe wire
@@ -291,6 +324,7 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		Config: e.Config, Value: jsonFloat(e.Value), Cost: jsonFloat(e.Cost),
 		Elapsed: jsonFloat(e.Elapsed), Status: e.Status, Detail: e.Detail,
 		N: e.N, Dur: e.Dur,
+		Trace: e.Trace, Span: e.Span, Parent: e.Parent, Worker: e.Worker, Wall: e.Wall,
 	})
 }
 
@@ -305,6 +339,7 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 		Config: j.Config, Value: float64(j.Value), Cost: float64(j.Cost),
 		Elapsed: float64(j.Elapsed), Status: j.Status, Detail: j.Detail,
 		N: j.N, Dur: j.Dur,
+		Trace: j.Trace, Span: j.Span, Parent: j.Parent, Worker: j.Worker, Wall: j.Wall,
 	}
 	return nil
 }

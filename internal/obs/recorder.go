@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"io"
+	"os"
+	"sync"
+)
+
+// DefaultRecorderSize is the ring capacity a zero-valued Recorder grows
+// to on first use: enough to hold the full span chain of every recent
+// task without ever growing past a fixed footprint.
+const DefaultRecorderSize = 4096
+
+// Recorder is the flight recorder: a fixed-size in-memory ring of the
+// most recent events, cheap enough to leave always-on in the broker and
+// remote paths. It buffers silently until something goes wrong — a
+// chaos-trial failure, a panic, a resume divergence — and then Dump
+// writes the last-N-events story as a JSONL artifact. It is safe for
+// concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	count int
+	size  int
+}
+
+// NewRecorder returns a recorder keeping the last size events (or
+// DefaultRecorderSize when size <= 0).
+func NewRecorder(size int) *Recorder {
+	if size <= 0 {
+		size = DefaultRecorderSize
+	}
+	return &Recorder{size: size}
+}
+
+// Emit implements Sink.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	if r.size <= 0 {
+		r.size = DefaultRecorderSize
+	}
+	if r.ring == nil {
+		r.ring = make([]Event, r.size)
+	}
+	r.ring[r.next] = e
+	r.next = (r.next + 1) % r.size
+	if r.count < r.size {
+		r.count++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the recorded events, oldest first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.count)
+	if r.count == r.size {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring[:r.count]...)
+	}
+	return out
+}
+
+// Len returns the number of events currently held.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Reset drops everything recorded so far.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.next, r.count = 0, 0
+	r.mu.Unlock()
+}
+
+// WriteJSONL writes the recorded events to w in trace JSONL form,
+// oldest first.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	s := NewJSONLSink(w)
+	for _, e := range r.Events() {
+		s.Emit(e)
+	}
+	return s.Flush()
+}
+
+// Dump writes the recording to path as a JSONL artifact, replacing any
+// previous dump there.
+func (r *Recorder) Dump(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := r.WriteJSONL(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"sync"
@@ -120,7 +121,9 @@ func (s *JSONLSink) Close() error {
 	return flushErr
 }
 
-// ReadTrace decodes a JSONL trace stream back into events.
+// ReadTrace decodes a JSONL trace stream back into events, failing on
+// the first malformed line. Use ReadTraceLenient for files that may
+// have been torn mid-write (crashed process, truncated artifact).
 func ReadTrace(r io.Reader) ([]Event, error) {
 	dec := json.NewDecoder(r)
 	var out []Event
@@ -134,6 +137,28 @@ func ReadTrace(r io.Reader) ([]Event, error) {
 		}
 		out = append(out, e)
 	}
+}
+
+// ReadTraceLenient decodes a JSONL trace line by line, skipping lines
+// that fail to parse (a torn tail from a crashed writer, a corrupted
+// artifact) instead of aborting. It returns the events that did parse
+// and the number of lines skipped.
+func ReadTraceLenient(r io.Reader) (events []Event, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if json.Unmarshal(line, &e) != nil {
+			skipped++
+			continue
+		}
+		events = append(events, e)
+	}
+	return events, skipped, sc.Err()
 }
 
 // multiSink fans events out to several sinks in order.

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// TraceContext identifies one node of a distributed causal chain. It is
+// the only trace state that crosses process boundaries: the remote wire
+// frames carry TraceID (seq and attempt already travel in the task
+// payload), and every process re-derives span ids locally.
+type TraceContext struct {
+	// TraceID names the whole run's trace. It is chosen by the
+	// coordinator (deterministically — e.g. from algo, problem, and seed)
+	// and shared by every process that touches the run.
+	TraceID string
+	// SpanID identifies this node; ParentID its cause. Both are pure
+	// functions of (seq, attempt, stage) — see RootSpanID, TaskSpanID,
+	// AttemptSpanID — so the coordinator and a worker that has never
+	// exchanged state compute identical ids for the same evaluation.
+	SpanID   uint64
+	ParentID uint64
+}
+
+// Valid reports whether the context names a trace at all.
+func (tc TraceContext) Valid() bool { return tc.TraceID != "" }
+
+// Child derives the trace context for a span caused by this one.
+func (tc TraceContext) Child(span uint64) TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: span, ParentID: tc.SpanID}
+}
+
+// Span-id scheme: ids are structured, not random, so that independent
+// processes agree on them without coordination and repeated runs of the
+// same seed produce identical trees. Layout (low to high bits):
+//
+//	bits 0..7   stage offset (0 = the attempt/task span itself)
+//	bits 8..19  dispatch attempt + 1 (0 = the task span, pre-dispatch)
+//	bits 20..   task seq + 2 (so task 0 is distinct from the root id 1)
+const (
+	// RootSpanID is the span of the whole search run.
+	RootSpanID uint64 = 1
+
+	// Stage offsets OR'd into a task or attempt span id to name its
+	// sub-stages. They keep sibling stages distinct while staying
+	// derivable anywhere.
+	spanStageDispatch uint64 = 1
+	spanStageLease    uint64 = 2
+	spanStageEval     uint64 = 3
+	spanStageResult   uint64 = 4
+	spanStageHedge    uint64 = 5
+	spanStageEnqueue  uint64 = 6
+)
+
+// TaskSpanID is the span of task seq's whole lifetime (enqueue → settle).
+// Its parent is RootSpanID.
+func TaskSpanID(seq int) uint64 {
+	return (uint64(seq) + 2) << 20
+}
+
+// AttemptSpanID is the span of one dispatch attempt of task seq. Its
+// parent is TaskSpanID(seq).
+func AttemptSpanID(seq, attempt int) uint64 {
+	return TaskSpanID(seq) | (uint64(attempt)+1)<<8
+}
+
+// StageSpanID is the span of one named stage inside a dispatch attempt
+// ("dispatch", "lease", "worker-eval", "result", "hedge-loss"); its
+// parent is AttemptSpanID(seq, attempt). The "enqueue" stage happens
+// before any attempt exists and hangs off the task span instead.
+// Unknown stages collapse to the attempt span itself.
+func StageSpanID(seq, attempt int, stage string) uint64 {
+	switch stage {
+	case "enqueue":
+		return TaskSpanID(seq) | spanStageEnqueue
+	case "dispatch":
+		return AttemptSpanID(seq, attempt) | spanStageDispatch
+	case "lease":
+		return AttemptSpanID(seq, attempt) | spanStageLease
+	case "worker-eval":
+		return AttemptSpanID(seq, attempt) | spanStageEval
+	case "result":
+		return AttemptSpanID(seq, attempt) | spanStageResult
+	case "hedge-loss":
+		return AttemptSpanID(seq, attempt) | spanStageHedge
+	}
+	return AttemptSpanID(seq, attempt)
+}
+
+// StageParentID is the parent of StageSpanID(seq, attempt, stage).
+func StageParentID(seq, attempt int, stage string) uint64 {
+	if stage == "enqueue" {
+		return TaskSpanID(seq)
+	}
+	return AttemptSpanID(seq, attempt)
+}
+
+// Span emits one stage of task seq's causal chain under tc's trace. The
+// wall-clock completion timestamp is stamped here — never by the caller
+// — so emission sites stay clock-free (the obstime lint check enforces
+// that); dur, when nonzero, is the stage's measured duration from a
+// Stopwatch. A nil tracer or an invalid trace context emits nothing.
+func (t *Tracer) Span(tc TraceContext, stage string, seq, attempt int, worker string, dur time.Duration) {
+	if !t.Enabled() || !tc.Valid() {
+		return
+	}
+	t.sink.Emit(Event{
+		Kind: KindSpan, Seq: seq, N: attempt, Detail: stage,
+		Trace: tc.TraceID, Span: StageSpanID(seq, attempt, stage),
+		Parent: StageParentID(seq, attempt, stage),
+		Worker: worker, Dur: dur,
+		Wall: time.Now().UnixNano(),
+	})
+}
+
+// SpanRoot emits the structural spans that anchor a task's chain: the
+// task span (parent: root) when attempt < 0, else the attempt span
+// (parent: task). Stage names them "task" and "attempt".
+func (t *Tracer) SpanRoot(tc TraceContext, seq, attempt int) {
+	if !t.Enabled() || !tc.Valid() {
+		return
+	}
+	e := Event{
+		Kind: KindSpan, Seq: seq, Trace: tc.TraceID,
+		Wall: time.Now().UnixNano(),
+	}
+	if attempt < 0 {
+		e.Detail = "task"
+		e.Span, e.Parent = TaskSpanID(seq), RootSpanID
+	} else {
+		e.Detail = "attempt"
+		e.N = attempt
+		e.Span, e.Parent = AttemptSpanID(seq, attempt), TaskSpanID(seq)
+	}
+	t.sink.Emit(e)
+}
+
+// Stopwatch is the sanctioned way to measure a wall-clock duration for a
+// telemetry event: start one with StartTimer, pass Elapsed() to the
+// tracer helper. Instrumented code never calls time.Now/time.Since
+// directly at emission sites (the obstime lint check flags that), which
+// keeps every clock read in one audited place.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartTimer starts a stopwatch.
+func StartTimer() Stopwatch {
+	return Stopwatch{start: time.Now()}
+}
+
+// Elapsed returns the wall time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	if s.start.IsZero() {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
+// traceKey keys the trace context in a context.Context.
+type traceKey struct{}
+
+// WithTrace returns a context carrying tc. The broker captures it at
+// submission, so every evaluation dispatched on behalf of the context
+// inherits the run's trace.
+func WithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceKey{}, tc)
+}
+
+// TraceFrom returns the context's trace context, or the zero (invalid)
+// one when none was attached.
+func TraceFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceKey{}).(TraceContext)
+	return tc
+}

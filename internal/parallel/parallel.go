@@ -78,7 +78,7 @@ func ForEach(ctx context.Context, opt Options, n int, fn func(i int) error) erro
 	}
 	tr := obs.FromContext(ctx)
 	tr.PoolStart(opt.Label, workers, n)
-	start := time.Now() //lint:ignore nodeterm observability-only: pool wall time for the pool-finish obs event
+	start := obs.StartTimer()
 
 	var (
 		mu       sync.Mutex
@@ -99,13 +99,13 @@ func ForEach(ctx context.Context, opt Options, n int, fn func(i int) error) erro
 		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
-				var t0 time.Time
+				var sw obs.Stopwatch
 				if enabled {
-					t0 = time.Now() //lint:ignore nodeterm observability-only: per-task wall time for the worker-task obs event
+					sw = obs.StartTimer()
 				}
 				err := fn(i)
 				if enabled {
-					taskWall[i] = time.Since(t0) //lint:ignore nodeterm observability-only: per-task wall time for the worker-task obs event
+					taskWall[i] = sw.Elapsed()
 					tr.WorkerTask(opt.Label, i, worker, taskWall[i])
 				}
 				mu.Lock()
@@ -135,7 +135,7 @@ dispatch:
 	close(jobs)
 	wg.Wait()
 
-	tr.PoolFinish(opt.Label, done, time.Since(start)) //lint:ignore nodeterm observability-only: pool wall time for the pool-finish obs event
+	tr.PoolFinish(opt.Label, done, start.Elapsed())
 
 	// Lowest-index error first: dispatch order guarantees every item below
 	// the first failing index ran, so this choice is scheduling-invariant.

@@ -411,17 +411,16 @@ func RSbA(ctx context.Context, p Problem, initial Model, ta Dataset, opt RSbOpti
 		}
 
 		if len(run.res.Records)%refitEvery == 0 {
-			var t0 time.Time
+			var sw obs.Stopwatch
 			if run.tr.Enabled() {
-				t0 = time.Now() //lint:ignore nodeterm observability-only: refit wall time for the model-fit obs event
+				sw = obs.StartTimer()
 			}
 			m, err := refit(observed)
 			if err != nil {
 				return nil, err
 			}
 			if run.tr.Enabled() {
-				//lint:ignore nodeterm observability-only: emitted as an obs duration, never read by the search
-				run.tr.ModelFit("RSbA-refit", len(observed), time.Since(t0))
+				run.tr.ModelFit("RSbA-refit", len(observed), sw.Elapsed())
 			}
 			model = m
 			if tm != nil {
