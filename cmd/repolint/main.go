@@ -1,20 +1,41 @@
 // Command repolint is the repository's static-analysis gate: it loads
 // every package of the module with the stdlib type checker and runs the
-// project-specific analyzer suite of internal/analysis, which
-// mechanically enforces the determinism, context-threading, rng-stream,
-// float-comparison, and error-handling invariants the paper's
+// project-specific analyzer suite of internal/analysis — seven
+// package-scoped analyzers (nodeterm, ctxflow, rngstream, floatcmp,
+// errsink, obstime, lockshape) plus two module-scoped, call-graph-aware
+// ones (detflow, wiresafe) — which mechanically enforces the
+// determinism, context-threading, rng-stream, float-comparison,
+// error-handling, wire-stability, and lock-shape invariants the paper's
 // common-random-numbers methodology depends on.
 //
 // Usage:
 //
-//	repolint [-json] [-list] [packages]
+//	repolint [-json] [-list] [-sarif file] [-cache file]
+//	         [-baseline file] [-write-baseline] [packages]
 //
 // Packages default to ./... (the whole module). Patterns are matched
 // against import paths: ./... selects everything, a ./dir/... prefix
 // selects a subtree, and a plain path selects one package. Findings
 // print as file:line:col: analyzer: message, or as one JSON object per
-// line with -json (non-finite witness values follow the internal/obs
-// trace conventions). Suppress a finding with
+// line with -json (each object carries the analyzer-suite version and,
+// for interprocedural findings, the full source→sink call chain;
+// non-finite witness values follow the internal/obs trace conventions).
+// -sarif additionally writes the findings as a SARIF 2.1.0 log for CI
+// code-scanning ingestion.
+//
+// -cache names an on-disk cache file keyed by the content hash of every
+// lintable source file (plus the suite version, baseline, and package
+// selection): a warm run replays the previous verdict without
+// type-checking anything and reports the hit with its timing on stderr.
+//
+// -baseline names the committed suppression-debt ledger (default:
+// lint-baseline.json at the module root when present). Every
+// //lint:ignore in non-test code must be recorded there, and the
+// per-analyzer budgets cap the directive counts — the debt can only
+// shrink without a reviewed re-level via -write-baseline, which rewrites
+// the ledger from the current tree and exits.
+//
+// Suppress a finding with
 //
 //	//lint:ignore <analyzer> <reason>
 //
@@ -22,15 +43,23 @@
 // a whole file; unused and malformed directives are themselves
 // findings.
 //
-// Exit status: 0 clean, 1 findings, 2 operational failure.
+// Exit status:
+//
+//	0 — clean (also: -list, -write-baseline, and -h/-help)
+//	1 — findings (analyzer diagnostics, directive hygiene, or
+//	    suppression-budget violations)
+//	2 — operational failure (bad flags, unreadable tree, type errors,
+//	    unwritable output)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -43,22 +72,78 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line instead of text")
 	list := fs.Bool("list", false, "list the analyzers and the invariants they guard, then exit")
+	sarifPath := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	cachePath := fs.String("cache", "", "cache file: replay the verdict when no lintable source changed")
+	baselinePath := fs.String("baseline", "", "suppression baseline file (default: lint-baseline.json at the module root, when present)")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the suppression baseline from the current tree and exit")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
 		return 2
 	}
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			scope := "package"
+			if a.RunModule != nil {
+				scope = "module "
+			}
+			fmt.Printf("%-10s [%s] %s\n", a.Name, scope, a.Doc)
 		}
 		return 0
 	}
 
+	start := time.Now()
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		return 2
 	}
+	root, err := moduleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// Resolve the baseline: an explicit flag must exist; the default
+	// location is optional.
+	bp := *baselinePath
+	if bp == "" {
+		if def := filepath.Join(root, "lint-baseline.json"); fileExists(def) {
+			bp = def
+		}
+	} else if !*writeBaseline && !fileExists(bp) {
+		fmt.Fprintf(os.Stderr, "repolint: baseline %s does not exist\n", bp)
+		return 2
+	}
+	var baselineBytes []byte
+	if bp != "" {
+		baselineBytes, _ = os.ReadFile(bp)
+	}
+
+	// Cache probe: the key covers every byte the verdict depends on, so
+	// a hit can skip loading the module entirely.
+	var cacheKey string
+	if *cachePath != "" && !*writeBaseline {
+		cacheKey, err = analysis.CacheKey(root, patterns, baselineBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 2
+		}
+		if entry, ok := analysis.LoadCache(*cachePath, cacheKey); ok {
+			diags := entry.Restore()
+			fmt.Fprintf(os.Stderr, "repolint: cache hit (%d package(s), %s)\n",
+				entry.Packages, time.Since(start).Round(time.Millisecond))
+			return emit(diags, root, entry.Packages, *jsonOut, *sarifPath)
+		}
+	}
+
 	loader, err := analysis.NewLoader(cwd)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
@@ -69,32 +154,109 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		return 2
 	}
-
-	patterns := fs.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
 	selected, err := selectPackages(loader, pkgs, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		return 2
 	}
 
+	if *writeBaseline {
+		target := bp
+		if target == "" {
+			target = filepath.Join(root, "lint-baseline.json")
+		}
+		b := analysis.NewBaseline(analysis.CollectIgnores(loader.Root, selected))
+		if err := analysis.WriteBaselineFile(target, b); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "repolint: wrote %s (%d ignore(s); budgets: %s)\n",
+			target, len(b.Ignores), b.BudgetSummary())
+		return 0
+	}
+
 	diags := analysis.Lint(selected, analysis.All())
-	if *jsonOut {
-		err = analysis.WriteJSON(os.Stdout, loader.Root, diags)
+	if bp != "" {
+		b, err := analysis.LoadBaseline(bp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 2
+		}
+		diags = append(diags, analysis.CheckBaseline(b, analysis.CollectIgnores(loader.Root, selected))...)
+	}
+
+	if *cachePath != "" {
+		if err := analysis.WriteCache(*cachePath, cacheKey, loader.Root, len(selected), diags); err != nil {
+			fmt.Fprintln(os.Stderr, "repolint: cache write failed:", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "repolint: analyzed %d package(s) in %s (cache %s)\n",
+		len(selected), time.Since(start).Round(time.Millisecond), cacheStatus(*cachePath))
+	return emit(diags, loader.Root, len(selected), *jsonOut, *sarifPath)
+}
+
+func cacheStatus(path string) string {
+	if path == "" {
+		return "off"
+	}
+	return "miss"
+}
+
+// emit renders the findings on every requested surface and converts
+// them into the exit code.
+func emit(diags []analysis.Diagnostic, root string, npkgs int, jsonOut bool, sarifPath string) int {
+	var err error
+	if jsonOut {
+		err = analysis.WriteJSON(os.Stdout, root, diags)
 	} else {
-		err = analysis.WriteText(os.Stdout, loader.Root, diags)
+		err = analysis.WriteText(os.Stdout, root, diags)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		return 2
 	}
+	if sarifPath != "" {
+		f, err := os.Create(sarifPath)
+		if err == nil {
+			err = analysis.WriteSARIF(f, root, analysis.All(), diags)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 2
+		}
+	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "repolint: %d finding(s) in %d package(s)\n", len(diags), len(selected))
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s) in %d package(s)\n", len(diags), npkgs)
 		return 1
 	}
 	return 0
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// moduleRoot finds the go.mod directory at or above dir without
+// constructing a loader (the cache fast path must not pay for one).
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod at or above %s", abs)
+		}
+		d = parent
+	}
 }
 
 // selectPackages filters the loaded packages by go-style patterns

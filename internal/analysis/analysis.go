@@ -35,9 +35,19 @@ import (
 	"sort"
 )
 
-// An Analyzer is one named check. Analyzers are pure functions over a
-// type-checked package; they report findings through the Pass and never
-// mutate what they inspect.
+// Version identifies the analyzer suite revision. It is embedded in
+// -json and SARIF output (so consumers can tell which rule set produced
+// a finding) and keyed into the on-disk analysis cache (so upgrading
+// the analyzers invalidates every cached verdict).
+const Version = "2"
+
+// An Analyzer is one named check. Analyzers are pure functions over
+// type-checked source; they report findings through their pass and
+// never mutate what they inspect. An analyzer is either package-scoped
+// (Run set: called once per package) or module-scoped (RunModule set:
+// called once with every package and the call graph — for invariants,
+// like transitive determinism taint, that no single package can
+// witness).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in lint:ignore
 	// directives. It must be a single lowercase word.
@@ -49,10 +59,16 @@ type Analyzer struct {
 	// nil means every package. Fixture packages under testdata/src get
 	// synthetic "fix/..." import paths, so path-scoped analyzers are
 	// exercised by nesting the fixture (testdata/src/nodeterm/internal/sim)
-	// rather than by bypassing Match.
+	// rather than by bypassing Match. Module-scoped analyzers ignore
+	// Match: their findings may land in any package and they gate
+	// internally.
 	Match func(pkgPath string) bool
 	// Run inspects one package and reports findings via pass.Reportf.
+	// Exactly one of Run and RunModule must be set.
 	Run func(pass *Pass)
+	// RunModule inspects the whole analyzed package set at once, with
+	// the call graph built by the driver.
+	RunModule func(pass *ModulePass)
 }
 
 // A Pass carries one analyzer's view of one type-checked package.
@@ -93,6 +109,51 @@ func (p *Pass) ReportValuef(pos token.Pos, value float64, format string, args ..
 	})
 }
 
+// A ModulePass carries one module-scoped analyzer's view of the whole
+// analyzed package set.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkgs is every analyzed package, sorted by import path.
+	Pkgs []*Package
+	// Graph is the static call graph over Pkgs.
+	Graph *CallGraph
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportChainf records a finding that carries an interprocedural call
+// chain (source→sink, or sink→source — the analyzer chooses the
+// direction its message reads in). The chain survives into -json and
+// SARIF output so CI annotations can show the full path.
+func (p *ModulePass) ReportChainf(pos token.Pos, chain []ChainHop, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
+// A ChainHop is one step of an interprocedural call chain attached to
+// a diagnostic.
+type ChainHop struct {
+	// Func is the human-readable function label (pkg.Func or
+	// pkg.Type.Method).
+	Func string
+	// Pos is the declaration or call-site position of the hop.
+	Pos token.Position
+}
+
 // A Diagnostic is one finding, positioned in the original source.
 type Diagnostic struct {
 	// Analyzer names the check that produced the finding. Driver-level
@@ -104,6 +165,9 @@ type Diagnostic struct {
 	// it may legitimately be NaN or ±Inf.
 	Value    float64
 	HasValue bool
+	// Chain is the interprocedural call chain backing the finding
+	// (module-scoped analyzers only); empty for local findings.
+	Chain []ChainHop
 }
 
 // String renders the diagnostic in the conventional file:line:col form.

@@ -5,6 +5,12 @@ package analysis
 // paper's methodology: each analyzer guards one invariant that the
 // common-random-numbers comparisons (PAPER.md §IV-D) or the crash-safe
 // persistence layer depend on. DESIGN.md documents the mapping.
+//
+// DetFlow and WireSafe are module-scoped: they run once over the whole
+// package set with the static call graph and catch violations no
+// single package can witness. The rest (including the PR 9 LockShape —
+// its lock-shape rules are intraprocedural) are package-scoped,
+// syntactic, one package at a time.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterm, CtxFlow, RNGStream, FloatCmp, ErrSink, ObsTime}
+	return []*Analyzer{NoDeterm, CtxFlow, RNGStream, FloatCmp, ErrSink, ObsTime, DetFlow, WireSafe, LockShape}
 }

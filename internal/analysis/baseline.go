@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file implements the suppression-debt subsystem. Every
+// //lint:ignore is technical debt: a place where the tree asserts an
+// invariant does not apply. The committed baseline (lint-baseline.json
+// at the module root) records each ignore with its reason and sets a
+// hard per-analyzer budget — the count of ignores at the time the
+// baseline was last reviewed. repolint fails when a budget is exceeded
+// or an unrecorded ignore appears, so suppressions can be retired
+// silently but never accumulate silently: growing the debt requires a
+// reviewed `repolint -write-baseline` commit that shows the new entry
+// and the raised budget in the diff.
+
+// An IgnoreSite is one suppression directive found in non-test source,
+// positioned and keyed the way the baseline records it.
+type IgnoreSite struct {
+	// File is the path relative to the module root (slash-separated).
+	File string `json:"file"`
+	// Analyzer is the analyzer the directive names.
+	Analyzer string `json:"analyzer"`
+	// Reason is the mandatory justification text.
+	Reason string `json:"reason"`
+	// Line is the directive's own line at collection time. It is
+	// informational: baseline matching ignores it, so surrounding edits
+	// do not invalidate entries.
+	Line int `json:"line,omitempty"`
+}
+
+// A Baseline is the committed suppression-debt ledger.
+type Baseline struct {
+	// Version is the analyzer-suite version that wrote the file.
+	Version string `json:"version"`
+	// Budgets caps the number of ignores per analyzer. An analyzer
+	// absent from the map has budget zero: new suppressions for it
+	// require a reviewed baseline update.
+	Budgets map[string]int `json:"budgets"`
+	// Ignores are the recorded directives.
+	Ignores []IgnoreSite `json:"ignores"`
+}
+
+// CollectIgnores gathers every suppression directive (line and file
+// scoped) from pkgs, sorted by file then line. Malformed directives are
+// skipped here — Lint already reports them as findings.
+func CollectIgnores(root string, pkgs []*Package) []IgnoreSite {
+	known := map[string]bool{"lint": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []IgnoreSite
+	for _, pkg := range pkgs {
+		for i, f := range pkg.Files {
+			src := pkg.Src[pkg.Filenames[i]]
+			for _, d := range parseDirectives(pkg.Fset, f, src, known, func(Diagnostic) {}) {
+				out = append(out, IgnoreSite{
+					File:     relPath(root, d.pos.Filename),
+					Analyzer: d.analyzer,
+					Reason:   d.reason,
+					Line:     d.pos.Line,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
+// NewBaseline builds a baseline from the current tree: every ignore
+// recorded, every budget set to the current count. Writing it is the
+// reviewed act that re-levels the debt.
+func NewBaseline(sites []IgnoreSite) *Baseline {
+	b := &Baseline{Version: Version, Budgets: map[string]int{}}
+	for _, s := range sites {
+		b.Budgets[s.Analyzer]++
+		s.Line = 0 // entries are line-independent; Line is only for fresh collections
+		b.Ignores = append(b.Ignores, s)
+	}
+	sort.Slice(b.Ignores, func(i, j int) bool {
+		a, c := b.Ignores[i], b.Ignores[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Reason < c.Reason
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parse baseline %s: %w", path, err)
+	}
+	if b.Budgets == nil {
+		b.Budgets = map[string]int{}
+	}
+	return &b, nil
+}
+
+// WriteBaselineFile renders b to path, stable and human-diffable.
+func WriteBaselineFile(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckBaseline compares the tree's current ignores against the
+// committed ledger and returns one diagnostic per violation:
+//
+//   - an ignore not recorded in the baseline (matched by file +
+//     analyzer + reason, line-independent), and
+//   - a per-analyzer count above its budget.
+//
+// Shrinking is always clean — retired ignores leave stale baseline
+// entries behind, which are harmless until the next -write-baseline
+// sweeps them.
+func CheckBaseline(b *Baseline, sites []IgnoreSite) []Diagnostic {
+	type entryKey struct{ file, analyzer, reason string }
+	recorded := map[entryKey]int{}
+	for _, e := range b.Ignores {
+		recorded[entryKey{e.File, e.Analyzer, e.Reason}]++
+	}
+
+	var ds []Diagnostic
+	counts := map[string]int{}
+	lastSite := map[string]IgnoreSite{}
+	for _, s := range sites {
+		counts[s.Analyzer]++
+		lastSite[s.Analyzer] = s
+		k := entryKey{s.File, s.Analyzer, s.Reason}
+		if recorded[k] > 0 {
+			recorded[k]--
+			continue
+		}
+		ds = append(ds, Diagnostic{
+			Analyzer: "lint",
+			Pos:      positionFor(s),
+			Message: fmt.Sprintf(
+				"lint:ignore %s not recorded in the suppression baseline: new suppressions need review — fix the finding instead, or run repolint -write-baseline and commit the diff", s.Analyzer),
+		})
+	}
+
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if counts[name] > b.Budgets[name] {
+			// Anchor the finding at the last directive in file order — a
+			// real line to act on, typically the newest suppression.
+			ds = append(ds, Diagnostic{
+				Analyzer: "lint",
+				Pos:      positionFor(lastSite[name]),
+				Message: fmt.Sprintf(
+					"suppression budget exceeded for %s: %d lint:ignore directives, budget %d — the debt may only shrink; fix findings or re-level with a reviewed repolint -write-baseline",
+					name, counts[name], b.Budgets[name]),
+			})
+		}
+	}
+	return ds
+}
+
+// positionFor renders an ignore site as a diagnostic position.
+func positionFor(s IgnoreSite) (p token.Position) {
+	p.Filename = s.File
+	p.Line = s.Line
+	p.Column = 1
+	return p
+}
+
+// TotalBudget sums the per-analyzer budgets: the headline debt number
+// CI prints.
+func (b *Baseline) TotalBudget() int {
+	total := 0
+	for _, n := range b.Budgets {
+		total += n
+	}
+	return total
+}
+
+// BudgetSummary renders the budgets compactly for logs, sorted by
+// analyzer name.
+func (b *Baseline) BudgetSummary() string {
+	names := make([]string, 0, len(b.Budgets))
+	for name := range b.Budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, b.Budgets[name]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import "testing"
+
+// BenchmarkRepolint measures the analysis-gate latency on the live
+// module — the number a contributor pays on every cold `make lint`.
+// The "full" variant is the whole pipeline (parse + type-check + all
+// nine analyzers, a fresh loader per iteration, matching a cold
+// repolint run); "analyze" isolates the analyzer suite on pre-loaded
+// packages, so the two together show how much of the gate is
+// type-checking versus analysis.
+func BenchmarkRepolint(b *testing.B) {
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		npkgs := 0
+		for i := 0; i < b.N; i++ {
+			l, err := NewLoader(".")
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkgs, err := l.LoadAll()
+			if err != nil {
+				b.Fatal(err)
+			}
+			npkgs = len(pkgs)
+			Lint(pkgs, All())
+		}
+		b.ReportMetric(float64(npkgs), "packages")
+	})
+
+	b.Run("analyze", func(b *testing.B) {
+		l, err := NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := l.LoadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Lint(pkgs, All())
+		}
+	})
+}

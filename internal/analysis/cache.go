@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file implements the on-disk analysis cache. Loading and
+// type-checking the whole module from source is the dominant cost of a
+// repolint run; the findings, by contrast, are a pure function of the
+// lintable source bytes, the analyzer-suite version, and the package
+// selection. The cache exploits exactly that: one entry, keyed by a
+// hash over all of those inputs, holding the complete diagnostic list.
+// A warm `make lint` replays the verdict without constructing a single
+// types.Package; any edit to any lintable file (or to go.mod, the
+// baseline, or the suite itself via Version) changes the key and forces
+// a full re-run. Whole-module keying keeps the cache trivially sound in
+// the presence of module-scoped analyzers, whose findings can depend on
+// any file anywhere in the tree.
+
+// A CacheEntry is the persisted verdict of one repolint configuration.
+type CacheEntry struct {
+	// Key is the content hash the verdict is valid for.
+	Key string `json:"key"`
+	// Version echoes the analyzer-suite version (informational; Version
+	// is already part of Key).
+	Version string `json:"version"`
+	// Packages is the number of packages the run analyzed.
+	Packages int `json:"packages"`
+	// Diagnostics is the full finding list in wire (jsonDiagnostic)
+	// form, so a replay renders byte-identical output.
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+}
+
+// CacheKey hashes every input the verdict depends on: the analyzer
+// suite version, the package-selection patterns, extra material the
+// caller folds in (the baseline file bytes), and the relative path +
+// content of every lintable file under root plus go.mod. The walk
+// mirrors LoadAll (skips testdata, hidden, and underscore directories),
+// so the key covers exactly the bytes the analyzers can see.
+func CacheKey(root string, patterns []string, extra ...[]byte) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "repolint-version:%s\n", Version)
+	fmt.Fprintf(h, "patterns:%s\n", strings.Join(patterns, " "))
+	for i, e := range extra {
+		fmt.Fprintf(h, "extra:%d:%d\n", i, len(e))
+		h.Write(e)
+	}
+
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if lintableGoFile(name) || (name == "go.mod" && filepath.Dir(path) == root) {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "file:%s:%d\n", relPath(root, path), len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// LoadCache reads the cache file and returns its entry when it matches
+// key; a missing, unreadable, or stale cache is simply a miss, never an
+// error — the cache must not be able to fail a lint run.
+func LoadCache(path, key string) (*CacheEntry, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var e CacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Key != key {
+		return nil, false
+	}
+	return &e, true
+}
+
+// WriteCache persists the verdict for key. Errors are returned so the
+// caller can warn, but a failed write only costs the next run its warm
+// start.
+func WriteCache(path, key, root string, packages int, ds []Diagnostic) error {
+	e := CacheEntry{
+		Key:         key,
+		Version:     Version,
+		Packages:    packages,
+		Diagnostics: make([]jsonDiagnostic, 0, len(ds)),
+	}
+	for _, d := range ds {
+		e.Diagnostics = append(e.Diagnostics, toJSONDiagnostic(root, d))
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Restore converts the cached wire diagnostics back to Diagnostics for
+// rendering (text, JSONL, SARIF) and exit-code logic.
+func (e *CacheEntry) Restore() []Diagnostic {
+	out := make([]Diagnostic, 0, len(e.Diagnostics))
+	for _, jd := range e.Diagnostics {
+		out = append(out, jd.toDiagnostic())
+	}
+	return out
+}

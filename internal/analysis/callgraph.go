@@ -1,0 +1,416 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the static call graph the module-scoped analyzers
+// (detflow, wiresafe) reason over. The graph is deliberately simple —
+// nodes are declared functions and methods of the analyzed packages,
+// edges are possible calls — and deliberately conservative where Go's
+// dynamism forces a choice:
+//
+//   - Direct calls and method calls through a concrete receiver type
+//     resolve to exactly one callee (EdgeDirect).
+//   - Interface method calls resolve by class-hierarchy analysis: an
+//     edge is added to every method of every analyzed type that
+//     implements the interface (EdgeInterface). This over-approximates
+//     the dynamic callee set, which is the safe direction for taint:
+//     a chain through an interface edge may be infeasible, but no
+//     feasible chain is missed.
+//   - Calls through function values (variables, parameters, struct
+//     fields, map entries) resolve to every analyzed function whose
+//     identifier is taken as a value somewhere in the module and whose
+//     signature matches the call site (EdgeFuncValue). Again an
+//     over-approximation: address-taken functions of the right shape
+//     are the only ones a func value can dynamically hold.
+//   - Function literals are not separate nodes: a literal's body is
+//     analyzed as part of the function that lexically declares it, so a
+//     closure that reads the wall clock taints its declarer no matter
+//     where the closure is eventually invoked. This is conservative for
+//     callbacks (the declarer is blamed, not the invoker) and exact for
+//     the dominant pattern in this module — closures handed to
+//     parallel.Do / goroutines doing the declarer's work.
+//
+// Calls into packages outside the analyzed set (the standard library)
+// produce no edges; analyzers that care about specific external calls
+// (detflow's source set) match them at the call site instead.
+
+// EdgeKind classifies how a call edge was resolved.
+type EdgeKind uint8
+
+const (
+	// EdgeDirect is a statically resolved call: a package function or a
+	// method invoked through a concrete receiver type.
+	EdgeDirect EdgeKind = iota
+	// EdgeInterface is a conservative class-hierarchy edge from an
+	// interface method call to one concrete implementation.
+	EdgeInterface
+	// EdgeFuncValue is a conservative edge from a call through a
+	// func-typed value to one address-taken function of matching
+	// signature.
+	EdgeFuncValue
+)
+
+// String names the kind for diagnostics and tests.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeDirect:
+		return "direct"
+	case EdgeInterface:
+		return "interface"
+	case EdgeFuncValue:
+		return "funcvalue"
+	}
+	return "unknown"
+}
+
+// A CallNode is one declared function or method with a body in the
+// analyzed packages.
+type CallNode struct {
+	// Fn is the type-checker's object for the function.
+	Fn *types.Func
+	// Decl is the declaration carrying the body.
+	Decl *ast.FuncDecl
+	// Pkg is the package the declaration lives in.
+	Pkg *Package
+	// Out are the outgoing call edges, sorted by site position so every
+	// traversal of the graph is deterministic.
+	Out []CallEdge
+}
+
+// Label renders the node as pkg.Func or pkg.(Type).Method for chain
+// messages.
+func (n *CallNode) Label() string {
+	name := n.Fn.Name()
+	if sig, ok := n.Fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	base := n.Pkg.Path
+	if i := strings.LastIndex(base, "/"); i >= 0 {
+		base = base[i+1:]
+	}
+	return base + "." + name
+}
+
+// A CallEdge is one possible call from the owning node.
+type CallEdge struct {
+	Callee *CallNode
+	// Site is the call expression's position in the caller.
+	Site token.Pos
+	Kind EdgeKind
+}
+
+// A CallGraph holds the nodes of the analyzed packages, indexed by
+// their type-checker objects.
+type CallGraph struct {
+	nodes map[*types.Func]*CallNode
+	// sorted caches the deterministic node order (by position).
+	sorted []*CallNode
+}
+
+// Node returns the graph node for fn, nil when fn has no analyzed body.
+func (g *CallGraph) Node(fn *types.Func) *CallNode {
+	return g.nodes[fn]
+}
+
+// Nodes returns every node sorted by source position, so iteration
+// order — and therefore every diagnostic derived from it — is stable.
+func (g *CallGraph) Nodes() []*CallNode {
+	return g.sorted
+}
+
+// BuildCallGraph constructs the call graph of pkgs. All three passes
+// are deterministic: packages arrive sorted by path, files by name, and
+// edges are sorted by call-site offset.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: map[*types.Func]*CallNode{}}
+
+	// Pass 1: register a node per function declaration with a body.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &CallNode{Fn: fn, Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+
+	// Pass 2a: index the material the conservative edges need — every
+	// named type (for interface dispatch) and every address-taken
+	// function (for func-value calls).
+	namedTypes := collectNamedTypes(pkgs)
+	addrTaken := collectAddressTaken(pkgs, g)
+
+	// Pass 2b: walk every body and add edges.
+	for _, node := range g.nodes {
+		b := &edgeBuilder{g: g, node: node, named: namedTypes, addrTaken: addrTaken}
+		ast.Inspect(node.Decl.Body, b.visit)
+		sort.Slice(node.Out, func(i, j int) bool {
+			a, c := node.Out[i], node.Out[j]
+			if a.Site != c.Site {
+				return a.Site < c.Site
+			}
+			if a.Kind != c.Kind {
+				return a.Kind < c.Kind
+			}
+			return a.Callee.Fn.FullName() < c.Callee.Fn.FullName()
+		})
+	}
+
+	for _, n := range g.nodes {
+		g.sorted = append(g.sorted, n)
+	}
+	sort.Slice(g.sorted, func(i, j int) bool {
+		a, b := g.sorted[i], g.sorted[j]
+		if a.Pkg.Path != b.Pkg.Path {
+			return a.Pkg.Path < b.Pkg.Path
+		}
+		return a.Decl.Pos() < b.Decl.Pos()
+	})
+	return g
+}
+
+// collectNamedTypes gathers every named (non-interface) type declared
+// in pkgs, for class-hierarchy resolution of interface calls.
+func collectNamedTypes(pkgs []*Package) []*types.Named {
+	var out []*types.Named
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			out = append(out, named)
+		}
+	}
+	return out
+}
+
+// collectAddressTaken finds every analyzed function referenced outside
+// call position — assigned to a variable, stored in a field, passed as
+// an argument — grouped by the signature of the referencing expression
+// (method values lose their receiver there, exactly as the eventual
+// call site sees them).
+func collectAddressTaken(pkgs []*Package, g *CallGraph) map[string][]*CallNode {
+	out := map[string][]*CallNode{}
+	seen := map[string]map[*CallNode]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			markNonCallUses(pkg, f, g, out, seen)
+		}
+	}
+	for k := range out {
+		sort.Slice(out[k], func(i, j int) bool {
+			return out[k][i].Fn.FullName() < out[k][j].Fn.FullName()
+		})
+	}
+	return out
+}
+
+// markNonCallUses walks f and records every reference to an analyzed
+// function that is not the operand of a call expression: assignments,
+// arguments, composite-literal elements, returns, sends — anywhere a
+// function escapes as a value and may later be called indirectly.
+func markNonCallUses(pkg *Package, f *ast.File, g *CallGraph, out map[string][]*CallNode, seen map[string]map[*CallNode]bool) {
+	// The Fun child of a call is a use in call position, not a value
+	// reference; remember those expressions so the walk skips them.
+	calleePos := map[ast.Expr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			calleePos[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok || calleePos[expr] {
+			return true
+		}
+		var id *ast.Ident
+		switch e := expr.(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			// Only claim the selector as a whole; its Sel ident is
+			// visited separately and must not double-count.
+			id = e.Sel
+		default:
+			return true
+		}
+		if _, isSel := expr.(*ast.Ident); isSel {
+			// An ident that is the Sel of an enclosing selector already
+			// counted through the selector; detect by Uses + skip via
+			// type lookup below (idents without an expression type are
+			// selector Sels).
+			if _, ok := pkg.Info.Types[expr]; !ok {
+				return true
+			}
+		}
+		fn, ok := pkg.Info.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		node := g.Node(fn)
+		if node == nil {
+			return true
+		}
+		// The value's signature is the expression's type at the use
+		// site (a method value has already dropped its receiver; a
+		// method expression has gained it as the first parameter).
+		sig, _ := fn.Type().(*types.Signature)
+		if tv, ok := pkg.Info.Types[expr]; ok {
+			if s, ok := tv.Type.(*types.Signature); ok {
+				sig = s
+			}
+		}
+		if sig == nil {
+			return true
+		}
+		record(out, seen, sigKey(sig), node)
+		return true
+	})
+}
+
+func record(out map[string][]*CallNode, seen map[string]map[*CallNode]bool, key string, node *CallNode) {
+	if seen[key] == nil {
+		seen[key] = map[*CallNode]bool{}
+	}
+	if seen[key][node] {
+		return
+	}
+	seen[key][node] = true
+	out[key] = append(out[key], node)
+}
+
+// sigKey renders a signature's parameter and result types (receiver
+// excluded) into a comparison key for func-value edge resolution.
+func sigKey(sig *types.Signature) string {
+	var b strings.Builder
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		b.WriteString(params.At(i).Type().String())
+		b.WriteByte(';')
+	}
+	if sig.Variadic() {
+		b.WriteString("...")
+	}
+	b.WriteString("->")
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		b.WriteString(results.At(i).Type().String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// edgeBuilder adds the out-edges of one node.
+type edgeBuilder struct {
+	g         *CallGraph
+	node      *CallNode
+	named     []*types.Named
+	addrTaken map[string][]*CallNode
+}
+
+func (b *edgeBuilder) visit(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return true
+	}
+	info := b.node.Pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Immediately invoked function literal: its body is already part of
+	// this node's walk; no edge needed.
+	if _, ok := fun.(*ast.FuncLit); ok {
+		return true
+	}
+
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if types.IsInterface(s.Recv()) {
+				b.interfaceEdges(call, s)
+				return true
+			}
+		}
+	}
+
+	if fn := calleeFunc(info, call); fn != nil {
+		if callee := b.g.Node(fn); callee != nil {
+			b.add(callee, call.Pos(), EdgeDirect)
+		}
+		return true
+	}
+
+	// A call through something that is not a named function: a func
+	// value. Resolve conservatively through the address-taken index.
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return true
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return true // conversion or builtin
+	}
+	for _, callee := range b.addrTaken[sigKey(sig)] {
+		b.add(callee, call.Pos(), EdgeFuncValue)
+	}
+	return true
+}
+
+// interfaceEdges adds class-hierarchy edges for an interface method
+// call: one per analyzed concrete type implementing the interface.
+func (b *edgeBuilder) interfaceEdges(call *ast.CallExpr, s *types.Selection) {
+	iface, ok := s.Recv().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	mname := s.Obj().Name()
+	for _, named := range b.named {
+		var impl types.Type = named
+		if !types.Implements(impl, iface) {
+			impl = types.NewPointer(named)
+			if !types.Implements(impl, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, s.Obj().Pkg(), mname)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if callee := b.g.Node(fn); callee != nil {
+			b.add(callee, call.Pos(), EdgeInterface)
+		}
+	}
+}
+
+func (b *edgeBuilder) add(callee *CallNode, site token.Pos, kind EdgeKind) {
+	// Self-edges carry no taint information and only lengthen chains.
+	if callee == b.node {
+		return
+	}
+	b.node.Out = append(b.node.Out, CallEdge{Callee: callee, Site: site, Kind: kind})
+}

@@ -4,6 +4,16 @@ package analysis
 // //lint:ignore and //lint:file-ignore suppression directives, and
 // returns the surviving findings sorted by position.
 //
+// Package-scoped analyzers (Run) execute once per package, gated by
+// Match. Module-scoped analyzers (RunModule) execute once over the
+// whole package set with the static call graph; the graph is built
+// lazily, so a run of purely package-scoped analyzers pays nothing for
+// it. Suppression is positional either way: a directive silences the
+// diagnostics of its named analyzer on its target line no matter which
+// kind of analyzer produced them — an interprocedural finding is
+// suppressed where it is reported, which for detflow is the
+// nondeterminism source (the fix site).
+//
 // Directive handling follows three rules the test suite pins down:
 // a well-formed ignore silences exactly the diagnostics of its named
 // analyzer on its target line and nothing else; a malformed or
@@ -21,63 +31,80 @@ func Lint(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		ran[a.Name] = a
 	}
 
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		out = append(out, lintPackage(pkg, analyzers, known, ran)...)
-	}
-	sortDiagnostics(out)
-	return out
-}
-
-func lintPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool, ran map[string]*Analyzer) []Diagnostic {
+	// Raw findings: package-scoped analyzers per package, then
+	// module-scoped analyzers once.
 	var raw []Diagnostic
-	for _, a := range analyzers {
-		if a.Match != nil && !a.Match(pkg.Path) {
-			continue
+	report := func(d Diagnostic) { raw = append(raw, d) }
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.Path,
+				report:   report,
+			})
 		}
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			PkgPath:  pkg.Path,
-			report:   func(d Diagnostic) { raw = append(raw, d) },
+	}
+	if len(pkgs) > 0 {
+		var graph *CallGraph
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			if graph == nil {
+				graph = BuildCallGraph(pkgs)
+			}
+			a.RunModule(&ModulePass{
+				Analyzer: a,
+				Fset:     pkgs[0].Fset,
+				Pkgs:     pkgs,
+				Graph:    graph,
+				report:   report,
+			})
 		}
-		a.Run(pass)
 	}
 
 	// Directive findings (malformed, unknown, unused) are appended
 	// directly to kept: they are never suppressable.
 	var kept []Diagnostic
-	var directives []*directive
-	fset := pkg.Fset
-	for i, f := range pkg.Files {
-		src := pkg.Src[pkg.Filenames[i]]
-		ds := parseDirectives(fset, f, src, known, func(d Diagnostic) { kept = append(kept, d) })
-		directives = append(directives, ds...)
+	type pkgDirective struct {
+		d   *directive
+		pkg *Package
 	}
-
-	// fileIgnores[file] holds analyzers silenced for the whole file;
-	// lineIgnores[file:line] the per-line directives.
+	var directives []pkgDirective
 	fileIgnores := map[string]map[string]bool{}
 	type lineKey struct {
 		file string
 		line int
 	}
 	lineIgnores := map[lineKey][]*directive{}
-	for _, d := range directives {
-		switch d.kind {
-		case ignoreFile:
-			m := fileIgnores[d.pos.Filename]
-			if m == nil {
-				m = map[string]bool{}
-				fileIgnores[d.pos.Filename] = m
+	for _, pkg := range pkgs {
+		for i, f := range pkg.Files {
+			src := pkg.Src[pkg.Filenames[i]]
+			for _, d := range parseDirectives(pkg.Fset, f, src, known, func(d Diagnostic) { kept = append(kept, d) }) {
+				directives = append(directives, pkgDirective{d, pkg})
+				switch d.kind {
+				case ignoreFile:
+					m := fileIgnores[d.pos.Filename]
+					if m == nil {
+						m = map[string]bool{}
+						fileIgnores[d.pos.Filename] = m
+					}
+					m[d.analyzer] = true
+				case ignoreLine:
+					k := lineKey{d.pos.Filename, d.line}
+					lineIgnores[k] = append(lineIgnores[k], d)
+				}
 			}
-			m[d.analyzer] = true
-		case ignoreLine:
-			k := lineKey{d.pos.Filename, d.line}
-			lineIgnores[k] = append(lineIgnores[k], d)
 		}
 	}
 
@@ -100,13 +127,18 @@ func lintPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool, ran
 	// An unused ignore is only meaningful when its analyzer actually
 	// ran over this package: a partial run (single analyzer, or a
 	// package outside the analyzer's Match scope) must not flag ignores
-	// that belong to checks it never performed.
-	for _, d := range directives {
+	// that belong to checks it never performed. Module-scoped analyzers
+	// run over every package by construction.
+	for _, pd := range directives {
+		d := pd.d
 		if d.kind != ignoreLine || d.used {
 			continue
 		}
 		a, ok := ran[d.analyzer]
-		if !ok || (a.Match != nil && !a.Match(pkg.Path)) {
+		if !ok {
+			continue
+		}
+		if a.RunModule == nil && a.Match != nil && !a.Match(pd.pkg.Path) {
 			continue
 		}
 		kept = append(kept, Diagnostic{
@@ -115,5 +147,6 @@ func lintPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool, ran
 			Message:  "unused lint:ignore directive: no " + d.analyzer + " diagnostic on the target line",
 		})
 	}
+	sortDiagnostics(kept)
 	return kept
 }

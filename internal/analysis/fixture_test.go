@@ -34,6 +34,15 @@ func lintFixture(t *testing.T, rel string, analyzers ...*Analyzer) (*Package, []
 // diagnostic must be claimed by some want on its line.
 func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
 	t.Helper()
+	checkWantsAll(t, []*Package{pkg}, diags)
+}
+
+// checkWantsAll is checkWants over a multi-package fixture group: want
+// comments are collected from every package, and a diagnostic may land
+// in any of them (interprocedural findings report at the source, which
+// is routinely a different package than the root).
+func checkWantsAll(t *testing.T, pkgs []*Package, diags []Diagnostic) {
+	t.Helper()
 	type key struct {
 		file string
 		line int
@@ -45,30 +54,35 @@ func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
 	}
 	quoted := regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 	wants := map[key][]*expectation{}
-	for i, f := range pkg.Files {
-		name := pkg.Filenames[i]
-		for _, group := range f.Comments {
-			for _, c := range group.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				rest, ok := strings.CutPrefix(text, "want ")
-				if !ok {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				ms := quoted.FindAllStringSubmatch(rest, -1)
-				if len(ms) == 0 {
-					t.Fatalf("%s:%d: want comment carries no quoted pattern", name, pos.Line)
-				}
-				for _, m := range ms {
-					re, err := regexp.Compile(m[1])
-					if err != nil {
-						t.Fatalf("%s:%d: bad want pattern %q: %v", name, pos.Line, m[1], err)
+	collect := func(pkg *Package) {
+		for i, f := range pkg.Files {
+			name := pkg.Filenames[i]
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
 					}
-					k := key{name, pos.Line}
-					wants[k] = append(wants[k], &expectation{re: re, raw: m[1]})
+					pos := pkg.Fset.Position(c.Pos())
+					ms := quoted.FindAllStringSubmatch(rest, -1)
+					if len(ms) == 0 {
+						t.Fatalf("%s:%d: want comment carries no quoted pattern", name, pos.Line)
+					}
+					for _, m := range ms {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", name, pos.Line, m[1], err)
+						}
+						k := key{name, pos.Line}
+						wants[k] = append(wants[k], &expectation{re: re, raw: m[1]})
+					}
 				}
 			}
 		}
+	}
+	for _, pkg := range pkgs {
+		collect(pkg)
 	}
 	for _, d := range diags {
 		full := d.Analyzer + ": " + d.Message

@@ -10,14 +10,77 @@ import (
 
 // jsonDiagnostic is the -json wire form of one finding: one object per
 // line, stable field order, paths relative to root so output does not
-// depend on where the tree is checked out.
+// depend on where the tree is checked out. The version and chain
+// fields were added with the interprocedural analyzers; both are
+// additive, so JSONL consumers written against the original five-field
+// schema keep parsing.
 type jsonDiagnostic struct {
-	Analyzer string    `json:"analyzer"`
-	File     string    `json:"file"`
-	Line     int       `json:"line"`
-	Col      int       `json:"col"`
-	Message  string    `json:"message"`
-	Value    *jsonsafe `json:"value,omitempty"`
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Version is the analyzer-suite revision that produced the finding.
+	Version string         `json:"version"`
+	Value   *jsonsafe      `json:"value,omitempty"`
+	Chain   []jsonChainHop `json:"chain,omitempty"`
+}
+
+// jsonChainHop is the wire form of one interprocedural chain hop.
+type jsonChainHop struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// toJSONDiagnostic renders d in wire form with paths relative to root.
+func toJSONDiagnostic(root string, d Diagnostic) jsonDiagnostic {
+	jd := jsonDiagnostic{
+		Analyzer: d.Analyzer,
+		File:     relPath(root, d.Pos.Filename),
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Message:  d.Message,
+		Version:  Version,
+	}
+	if d.HasValue {
+		v := jsonsafe(d.Value)
+		jd.Value = &v
+	}
+	for _, h := range d.Chain {
+		jd.Chain = append(jd.Chain, jsonChainHop{
+			Func: h.Func,
+			File: relPath(root, h.Pos.Filename),
+			Line: h.Pos.Line,
+			Col:  h.Pos.Column,
+		})
+	}
+	return jd
+}
+
+// toDiagnostic inverts toJSONDiagnostic (paths stay as rendered: the
+// round trip is for replaying verdicts, not for re-resolving files).
+func (jd jsonDiagnostic) toDiagnostic() Diagnostic {
+	d := Diagnostic{
+		Analyzer: jd.Analyzer,
+		Message:  jd.Message,
+	}
+	d.Pos.Filename = jd.File
+	d.Pos.Line = jd.Line
+	d.Pos.Column = jd.Col
+	if jd.Value != nil {
+		d.Value = float64(*jd.Value)
+		d.HasValue = true
+	}
+	for _, h := range jd.Chain {
+		hop := ChainHop{Func: h.Func}
+		hop.Pos.Filename = h.File
+		hop.Pos.Line = h.Line
+		hop.Pos.Column = h.Col
+		d.Chain = append(d.Chain, hop)
+	}
+	return d
 }
 
 // jsonsafe mirrors the non-finite-safe float convention of
@@ -72,18 +135,7 @@ func (f *jsonsafe) UnmarshalJSON(data []byte) error {
 func WriteJSON(w io.Writer, root string, ds []Diagnostic) error {
 	enc := json.NewEncoder(w)
 	for _, d := range ds {
-		jd := jsonDiagnostic{
-			Analyzer: d.Analyzer,
-			File:     relPath(root, d.Pos.Filename),
-			Line:     d.Pos.Line,
-			Col:      d.Pos.Column,
-			Message:  d.Message,
-		}
-		if d.HasValue {
-			v := jsonsafe(d.Value)
-			jd.Value = &v
-		}
-		if err := enc.Encode(jd); err != nil {
+		if err := enc.Encode(toJSONDiagnostic(root, d)); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockShape flags the three lock-usage shapes that have bitten (or
+// nearly bitten) the broker and pool code, where a blocked goroutine
+// is not just a performance bug but a chaos-campaign deadlock:
+//
+//  1. Mutex value copies — a value receiver, parameter, or assignment
+//     that copies a type containing sync.Mutex/RWMutex/WaitGroup/
+//     Once/Cond duplicates the lock state; goroutines end up
+//     synchronizing on different locks. (go vet's copylocks catches
+//     many of these; this analyzer keeps the gate self-contained and
+//     catches value receivers, which vet does not flag unless the
+//     method set demands a pointer.)
+//  2. Locks held across blocking channel operations in broker/pool
+//     packages — a mutex held over a channel send, a <-ctx.Done()
+//     wait, or a select with no default can deadlock the dispatch
+//     loop against the very goroutine that would drain the channel
+//     (the PR 6 chaos harness found exactly this shape in the
+//     consumerless-queue stall).
+//  3. sync.WaitGroup.Add inside the spawned goroutine — Add racing
+//     Wait is a lost-wakeup: Wait may return before the goroutine is
+//     counted. Add belongs on the spawning side, before `go` (see
+//     Pool.Serve's "Add under mu" comment for the sanctioned shape).
+var LockShape = &Analyzer{
+	Name: "lockshape",
+	Doc:  "flag mutex value copies, locks held across channel sends / ctx.Done() waits in broker and pool code, and WaitGroup.Add inside the spawned goroutine",
+	Run:  runLockShape,
+}
+
+// lockWaitScope reports whether pkgPath hosts queue/pool concurrency,
+// where rule 2 (no blocking channel ops under a lock) applies.
+func lockWaitScope(pkgPath string) bool {
+	return strings.Contains(pkgPath, "internal/broker") || strings.Contains(pkgPath, "internal/parallel")
+}
+
+func runLockShape(pass *Pass) {
+	waitScope := lockWaitScope(pass.PkgPath)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockCopies(pass, fd)
+			if fd.Body == nil {
+				continue
+			}
+			checkGoroutineAdds(pass, fd.Body)
+			if waitScope {
+				scanLockedRegion(pass, fd.Body.List, map[string]token.Pos{})
+			}
+		}
+	}
+}
+
+// --- rule 1: value copies -------------------------------------------------
+
+// lockBearerName returns the name of the sync primitive t contains (by
+// value, transitively through struct fields), or "".
+func lockBearerName(t types.Type) string {
+	return lockBearer(t, 0, map[types.Type]bool{})
+}
+
+func lockBearer(t types.Type, depth int, seen map[types.Type]bool) string {
+	if depth > 10 || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockBearer(named.Underlying(), depth+1, seen)
+	}
+	if st, ok := t.(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if name := lockBearer(st.Field(i).Type(), depth+1, seen); name != "" {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+func checkLockCopies(pass *Pass, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, what, bearer string) {
+		pass.Reportf(pos,
+			"%s copies %s by value: the copy synchronizes nothing; use a pointer",
+			what, bearer)
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			if tv, ok := pass.Info.Types[field.Type]; ok {
+				if _, isPtr := tv.Type.(*types.Pointer); !isPtr {
+					if bearer := lockBearerName(tv.Type); bearer != "" {
+						report(field.Pos(), "value receiver of "+fd.Name.Name, bearer)
+					}
+				}
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			if bearer := lockBearerName(tv.Type); bearer != "" {
+				report(field.Pos(), "parameter of "+fd.Name.Name, bearer)
+			}
+		}
+	}
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			rhs = ast.Unparen(rhs)
+			// Only copies of existing values: fresh composite literals
+			// and call results are births, not copies.
+			switch rhs.(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			default:
+				continue
+			}
+			tv, ok := pass.Info.Types[rhs]
+			if !ok {
+				continue
+			}
+			if bearer := lockBearerName(tv.Type); bearer != "" {
+				pass.Reportf(asg.Lhs[i].Pos(),
+					"assignment copies %s by value (from %s): the copy synchronizes nothing; use a pointer", bearer, types.ExprString(rhs))
+			}
+		}
+		return true
+	})
+}
+
+// --- rule 2: blocking channel ops under a lock ----------------------------
+
+// scanLockedRegion walks stmts in source order tracking which mutexes
+// are held. The analysis is deliberately shallow and deterministic:
+// Lock/Unlock on the same rendered expression toggle the held set,
+// defer Unlock keeps it held to function end, and branch bodies are
+// scanned with a copy of the held set (what happens in a branch stays
+// in the branch — the fallthrough path keeps the pre-branch state).
+// Function literals are skipped: they run elsewhere.
+func scanLockedRegion(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	copyHeld := func() map[string]token.Pos {
+		c := make(map[string]token.Pos, len(held))
+		for k, v := range held {
+			c[k] = v
+		}
+		return c
+	}
+	reportBlocked := func(pos token.Pos, what string) {
+		for expr := range held {
+			pass.Reportf(pos,
+				"%s while holding %s (locked at this function's %s.Lock): a blocked send under a lock deadlocks against the goroutine that would drain it; release the lock first",
+				what, expr, expr)
+			return // one report per site is enough
+		}
+	}
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if name, expr, ok := lockCall(pass, s.X); ok {
+				switch name {
+				case "Lock", "RLock":
+					held[expr] = s.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, expr)
+				}
+			}
+			if len(held) > 0 && isDoneWait(pass, s.X) {
+				reportBlocked(s.Pos(), "<-ctx.Done() wait")
+			}
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				reportBlocked(s.Pos(), "channel send")
+			}
+		case *ast.AssignStmt:
+			if len(held) > 0 {
+				for _, rhs := range s.Rhs {
+					if isDoneWait(pass, rhs) {
+						reportBlocked(s.Pos(), "<-ctx.Done() wait")
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && selectCanBlockOnComm(pass, s) {
+				reportBlocked(s.Pos(), "select without default")
+			}
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					scanLockedRegion(pass, cc.Body, copyHeld())
+				}
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the rest of the
+			// function — exactly the state this scan models by not
+			// touching held.
+		case *ast.BlockStmt:
+			scanLockedRegion(pass, s.List, held)
+		case *ast.IfStmt:
+			scanLockedRegion(pass, s.Body.List, copyHeld())
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					scanLockedRegion(pass, e.List, copyHeld())
+				case *ast.IfStmt:
+					scanLockedRegion(pass, []ast.Stmt{e}, copyHeld())
+				}
+			}
+		case *ast.ForStmt:
+			scanLockedRegion(pass, s.Body.List, copyHeld())
+		case *ast.RangeStmt:
+			scanLockedRegion(pass, s.Body.List, copyHeld())
+		case *ast.SwitchStmt:
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					scanLockedRegion(pass, cc.Body, copyHeld())
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					scanLockedRegion(pass, cc.Body, copyHeld())
+				}
+			}
+		case *ast.LabeledStmt:
+			scanLockedRegion(pass, []ast.Stmt{s.Stmt}, held)
+		}
+	}
+}
+
+// lockCall matches expr as a sync.Mutex/RWMutex Lock/Unlock/RLock/
+// RUnlock call and returns the method name and the rendered receiver.
+func lockCall(pass *Pass, expr ast.Expr) (method, recv string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return sel.Sel.Name, types.ExprString(sel.X), true
+}
+
+// isDoneWait matches a blocking receive from a context's Done channel.
+func isDoneWait(pass *Pass, expr ast.Expr) bool {
+	un, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || un.Op != token.ARROW {
+		return false
+	}
+	call, ok := ast.Unparen(un.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	return ok && isContextType(tv.Type)
+}
+
+// selectCanBlockOnComm reports whether the select has no default and
+// at least one send or Done-wait case (the shapes that block while a
+// lock starves the drainer).
+func selectCanBlockOnComm(pass *Pass, s *ast.SelectStmt) bool {
+	interesting := false
+	for _, clause := range s.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return false // default clause: never blocks
+		}
+		switch c := cc.Comm.(type) {
+		case *ast.SendStmt:
+			interesting = true
+		case *ast.ExprStmt:
+			if isDoneWait(pass, c.X) {
+				interesting = true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range c.Rhs {
+				if isDoneWait(pass, rhs) {
+					interesting = true
+				}
+			}
+		}
+	}
+	return interesting
+}
+
+// --- rule 3: WaitGroup.Add inside the spawned goroutine -------------------
+
+func checkGoroutineAdds(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(inner ast.Node) bool {
+			if _, ok := inner.(*ast.FuncLit); ok && inner != ast.Node(lit) {
+				return false // a nested literal's go statements report themselves
+			}
+			call, ok := inner.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Add" {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				pass.Reportf(call.Pos(),
+					"WaitGroup.Add inside the spawned goroutine races Wait (Wait can return before this goroutine is counted); call Add before the go statement")
+			}
+			return true
+		})
+		return true
+	})
+}

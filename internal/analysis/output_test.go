@@ -1,0 +1,342 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func site(file, analyzer, reason string, line int) IgnoreSite {
+	return IgnoreSite{File: file, Analyzer: analyzer, Reason: reason, Line: line}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	sites := []IgnoreSite{
+		site("a/a.go", "floatcmp", "tolerance documented", 10),
+		site("a/a.go", "ctxflow", "legacy bridge", 20),
+		site("b/b.go", "floatcmp", "tolerance documented", 5),
+	}
+	b := NewBaseline(sites)
+	if b.Version != Version {
+		t.Errorf("baseline version = %q, want %q", b.Version, Version)
+	}
+	if b.Budgets["floatcmp"] != 2 || b.Budgets["ctxflow"] != 1 {
+		t.Errorf("budgets = %v, want floatcmp=2 ctxflow=1", b.Budgets)
+	}
+	if b.TotalBudget() != 3 {
+		t.Errorf("TotalBudget = %d, want 3", b.TotalBudget())
+	}
+
+	path := filepath.Join(t.TempDir(), "lint-baseline.json")
+	if err := WriteBaselineFile(path, b); err != nil {
+		t.Fatalf("WriteBaselineFile: %v", err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if got.Version != b.Version || len(got.Ignores) != len(b.Ignores) {
+		t.Fatalf("round trip lost data: %+v vs %+v", got, b)
+	}
+	for name, n := range b.Budgets {
+		if got.Budgets[name] != n {
+			t.Errorf("budget %s = %d after round trip, want %d", name, got.Budgets[name], n)
+		}
+	}
+	// Entries are line-independent on purpose.
+	for _, e := range got.Ignores {
+		if e.Line != 0 {
+			t.Errorf("baseline entry %+v carries a line; entries must survive unrelated edits", e)
+		}
+	}
+}
+
+func TestCheckBaseline(t *testing.T) {
+	b := NewBaseline([]IgnoreSite{
+		site("a/a.go", "floatcmp", "tolerance documented", 10),
+	})
+
+	// Same entry at a different line: clean (matching ignores lines).
+	if ds := CheckBaseline(b, []IgnoreSite{site("a/a.go", "floatcmp", "tolerance documented", 99)}); len(ds) != 0 {
+		t.Errorf("recorded ignore at a new line flagged: %v", ds)
+	}
+
+	// Shrinking is clean: stale baseline entries are harmless.
+	if ds := CheckBaseline(b, nil); len(ds) != 0 {
+		t.Errorf("retired ignore flagged: %v", ds)
+	}
+
+	// An unrecorded ignore is a finding AND busts the budget.
+	ds := CheckBaseline(b, []IgnoreSite{
+		site("a/a.go", "floatcmp", "tolerance documented", 10),
+		site("c/c.go", "floatcmp", "brand new excuse", 3),
+	})
+	var unrecorded, overBudget bool
+	for _, d := range ds {
+		if strings.Contains(d.Message, "not recorded") {
+			unrecorded = true
+			if d.Pos.Filename != "c/c.go" || d.Pos.Line != 3 {
+				t.Errorf("unrecorded finding at %s:%d, want c/c.go:3", d.Pos.Filename, d.Pos.Line)
+			}
+		}
+		if strings.Contains(d.Message, "budget exceeded") {
+			overBudget = true
+		}
+	}
+	if !unrecorded || !overBudget {
+		t.Errorf("want unrecorded + budget findings, got: %v", ds)
+	}
+
+	// A new analyzer with no budget line has budget zero.
+	ds = CheckBaseline(b, []IgnoreSite{site("d/d.go", "detflow", "reason", 1)})
+	if len(ds) != 2 {
+		t.Errorf("zero-budget analyzer: want unrecorded + exceeded, got %v", ds)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "floatcmp",
+			Pos:      token.Position{Filename: "pkg/x.go", Line: 12, Column: 7},
+			Message:  "exact comparison against NaN witness",
+			Value:    math.NaN(),
+			HasValue: true,
+		},
+		{
+			Analyzer: "detflow",
+			Pos:      token.Position{Filename: "pkg/y.go", Line: 30, Column: 2},
+			Message:  "wall clock reaches root",
+			Chain: []ChainHop{
+				{Func: "search.Pick", Pos: token.Position{Filename: "pkg/z.go", Line: 5, Column: 1}},
+				{Func: "time.Now", Pos: token.Position{Filename: "pkg/y.go", Line: 30, Column: 2}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "", diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var jd jsonDiagnostic
+		if err := json.Unmarshal([]byte(line), &jd); err != nil {
+			t.Fatalf("line %d does not parse: %v", i, err)
+		}
+		if jd.Version != Version {
+			t.Errorf("line %d version = %q, want %q (consumers key rule sets off this field)", i, jd.Version, Version)
+		}
+		got := jd.toDiagnostic()
+		want := diags[i]
+		if got.Analyzer != want.Analyzer || got.Message != want.Message ||
+			got.Pos.Filename != want.Pos.Filename || got.Pos.Line != want.Pos.Line || got.Pos.Column != want.Pos.Column {
+			t.Errorf("line %d round trip changed identity: %+v vs %+v", i, got, want)
+		}
+		if want.HasValue && !(got.HasValue && math.IsNaN(got.Value) == math.IsNaN(want.Value)) {
+			t.Errorf("line %d lost the non-finite witness: %+v", i, got)
+		}
+		if len(got.Chain) != len(want.Chain) {
+			t.Fatalf("line %d chain length %d, want %d", i, len(got.Chain), len(want.Chain))
+		}
+		for j := range got.Chain {
+			if got.Chain[j] != want.Chain[j] {
+				t.Errorf("line %d chain hop %d = %+v, want %+v", i, j, got.Chain[j], want.Chain[j])
+			}
+		}
+	}
+
+	// Backward compatibility: a consumer of the original five-field
+	// schema must still see its fields under the same names.
+	var legacy struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &legacy); err != nil {
+		t.Fatalf("legacy schema rejects new output: %v", err)
+	}
+	if legacy.Analyzer != "floatcmp" || legacy.File != "pkg/x.go" || legacy.Line != 12 {
+		t.Errorf("legacy fields moved: %+v", legacy)
+	}
+}
+
+func TestCacheKeyAndRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(os.WriteFile(filepath.Join(root, "go.mod"), []byte("module tmp\n"), 0o644))
+	must(os.WriteFile(filepath.Join(root, "a.go"), []byte("package a\n"), 0o644))
+
+	key1, err := CacheKey(root, []string{"./..."})
+	must(err)
+	key2, err := CacheKey(root, []string{"./..."})
+	must(err)
+	if key1 != key2 {
+		t.Fatalf("cache key is not deterministic: %s vs %s", key1, key2)
+	}
+	if k, _ := CacheKey(root, []string{"./a"}); k == key1 {
+		t.Error("pattern change did not change the key")
+	}
+	if k, _ := CacheKey(root, []string{"./..."}, []byte("baseline")); k == key1 {
+		t.Error("extra material (baseline bytes) did not change the key")
+	}
+	must(os.WriteFile(filepath.Join(root, "a.go"), []byte("package a // edited\n"), 0o644))
+	key3, err := CacheKey(root, []string{"./..."})
+	must(err)
+	if key3 == key1 {
+		t.Error("source edit did not change the key")
+	}
+	// Test files are invisible to the analyzers, so they must be
+	// invisible to the key too.
+	must(os.WriteFile(filepath.Join(root, "a_test.go"), []byte("package a\n"), 0o644))
+	if k, _ := CacheKey(root, []string{"./..."}); k != key3 {
+		t.Error("a _test.go file changed the key; tests are exempt from analysis")
+	}
+
+	cachePath := filepath.Join(root, ".cache", "repolint.json")
+	diags := []Diagnostic{{
+		Analyzer: "detflow",
+		Pos:      token.Position{Filename: "a.go", Line: 1, Column: 1},
+		Message:  "m",
+		Chain:    []ChainHop{{Func: "a.F", Pos: token.Position{Filename: "a.go", Line: 1, Column: 1}}},
+	}}
+	must(WriteCache(cachePath, key3, root, 1, diags))
+	if _, ok := LoadCache(cachePath, key1); ok {
+		t.Error("stale key hit the cache")
+	}
+	entry, ok := LoadCache(cachePath, key3)
+	if !ok {
+		t.Fatal("fresh key missed the cache")
+	}
+	restored := entry.Restore()
+	if len(restored) != 1 || restored[0].Message != "m" || len(restored[0].Chain) != 1 {
+		t.Errorf("restored diagnostics lost data: %+v", restored)
+	}
+	if _, ok := LoadCache(filepath.Join(root, "nope.json"), key3); ok {
+		t.Error("missing cache file reported a hit")
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "detflow",
+			Pos:      token.Position{Filename: "pkg/y.go", Line: 30, Column: 2},
+			Message:  "wall clock reaches root",
+			Chain: []ChainHop{
+				{Func: "search.Pick", Pos: token.Position{Filename: "pkg/z.go", Line: 5, Column: 1}},
+				{Func: "time.Now", Pos: token.Position{Filename: "pkg/y.go", Line: 30, Column: 2}},
+			},
+		},
+		{
+			Analyzer: "lint",
+			Message:  "suppression budget exceeded", // no position: must still be valid SARIF
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "", All(), diags); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name    string `json:"name"`
+					Version string `json:"version"`
+					Rules   []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				CodeFlows []struct {
+					ThreadFlows []struct {
+						Locations []any `json:"locations"`
+					} `json:"threadFlows"`
+				} `json:"codeFlows"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "repolint" || run.Tool.Driver.Version != Version {
+		t.Errorf("driver = %s/%s, want repolint/%s", run.Tool.Driver.Name, run.Tool.Driver.Version, Version)
+	}
+	// One rule per analyzer plus the "lint" pseudo-rule.
+	if want := len(All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("got %d rules, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	if run.Results[0].RuleID != "detflow" {
+		t.Errorf("result 0 ruleId = %q", run.Results[0].RuleID)
+	}
+	if n := len(run.Results[0].CodeFlows); n != 1 {
+		t.Fatalf("chained finding has %d codeFlows, want 1", n)
+	}
+	if n := len(run.Results[0].CodeFlows[0].ThreadFlows[0].Locations); n != 2 {
+		t.Errorf("thread flow has %d locations, want 2", n)
+	}
+	// The positionless budget finding must not emit startLine 0 (SARIF
+	// requires >= 1).
+	if got := run.Results[1].Locations[0].PhysicalLocation.Region.StartLine; got < 1 {
+		t.Errorf("positionless finding startLine = %d, want >= 1", got)
+	}
+}
+
+// TestLiveBaselineMatchesTree pins the committed ledger to the tree: a
+// PR that adds a suppression without re-leveling the baseline fails
+// here (and in `make lint`), which is the whole point of the
+// suppression-debt subsystem.
+func TestLiveBaselineMatchesTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	b, err := LoadBaseline(filepath.Join(l.Root, "lint-baseline.json"))
+	if err != nil {
+		t.Fatalf("the committed baseline is missing or unreadable: %v", err)
+	}
+	for _, d := range CheckBaseline(b, CollectIgnores(l.Root, pkgs)) {
+		t.Errorf("suppression debt violation: %s", d.String())
+	}
+}

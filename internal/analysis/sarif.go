@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// This file renders findings as SARIF 2.1.0, the interchange format CI
+// code-scanning UIs ingest. The emitted subset is deliberately small —
+// tool metadata with one rule per analyzer, one result per finding,
+// and a single code flow for interprocedural chains — and built
+// entirely from structs and slices (no maps), so the bytes are stable
+// across runs and diffable as artifacts.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	CodeFlows []sarifCodeFlow `json:"codeFlows,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifCodeFlow struct {
+	ThreadFlows []sarifThreadFlow `json:"threadFlows"`
+}
+
+type sarifThreadFlow struct {
+	Locations []sarifThreadFlowLocation `json:"locations"`
+}
+
+type sarifThreadFlowLocation struct {
+	Location sarifFlowLocation `json:"location"`
+}
+
+type sarifFlowLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	Message          sarifMessage          `json:"message"`
+}
+
+// WriteSARIF renders ds as one SARIF run of the repolint tool. Paths
+// are relative to root, chains become code flows (root first, source
+// last — the order detflow builds them in).
+func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, ds []Diagnostic) error {
+	driver := sarifDriver{
+		Name:    "repolint",
+		Version: Version,
+	}
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	// The driver's directive findings use the pseudo-rule "lint".
+	driver.Rules = append(driver.Rules, sarifRule{
+		ID:               "lint",
+		ShortDescription: sarifMessage{Text: "suppression-directive hygiene: malformed, unknown, unused, or unbaselined lint:ignore directives"},
+	})
+
+	run := sarifRun{Tool: sarifTool{Driver: driver}, Results: []sarifResult{}}
+	for _, d := range ds {
+		res := sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relPath(root, d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: maxInt(d.Pos.Line, 1), StartColumn: d.Pos.Column},
+				},
+			}},
+		}
+		if len(d.Chain) > 0 {
+			tf := sarifThreadFlow{}
+			for _, h := range d.Chain {
+				tf.Locations = append(tf.Locations, sarifThreadFlowLocation{
+					Location: sarifFlowLocation{
+						PhysicalLocation: sarifPhysicalLocation{
+							ArtifactLocation: sarifArtifactLocation{URI: relPath(root, h.Pos.Filename)},
+							Region:           sarifRegion{StartLine: maxInt(h.Pos.Line, 1), StartColumn: h.Pos.Column},
+						},
+						Message: sarifMessage{Text: h.Func},
+					},
+				})
+			}
+			res.CodeFlows = []sarifCodeFlow{{ThreadFlows: []sarifThreadFlow{tf}}}
+		}
+		run.Results = append(run.Results, res)
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -47,14 +47,20 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRegistry pins the suite's shape: the six analyzers the
-// documentation promises, each named, documented, and runnable.
+// TestAnalyzerRegistry pins the suite's shape: the nine analyzers the
+// documentation promises — six package-scoped, three module-scoped —
+// each named, documented, and exactly one of Run/RunModule set.
 func TestAnalyzerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 6 {
-		t.Fatalf("All() returned %d analyzers, want 6", len(all))
+	if len(all) != 9 {
+		t.Fatalf("All() returned %d analyzers, want 9", len(all))
 	}
-	want := map[string]bool{"nodeterm": true, "ctxflow": true, "rngstream": true, "floatcmp": true, "errsink": true, "obstime": true}
+	want := map[string]bool{
+		"nodeterm": true, "ctxflow": true, "rngstream": true,
+		"floatcmp": true, "errsink": true, "obstime": true,
+		"detflow": true, "wiresafe": true, "lockshape": true,
+	}
+	moduleScoped := map[string]bool{"detflow": true, "wiresafe": true}
 	seen := map[string]bool{}
 	for _, a := range all {
 		if !want[a.Name] {
@@ -64,8 +70,14 @@ func TestAnalyzerRegistry(t *testing.T) {
 			t.Errorf("duplicate analyzer %q", a.Name)
 		}
 		seen[a.Name] = true
-		if a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %q is missing Doc or Run", a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %q is missing Doc", a.Name)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunModule", a.Name)
+		}
+		if moduleScoped[a.Name] && a.RunModule == nil {
+			t.Errorf("analyzer %q is documented as module-scoped but has no RunModule", a.Name)
 		}
 		if a.Name == "lint" {
 			t.Errorf("analyzer name %q collides with the driver's pseudo-analyzer", a.Name)

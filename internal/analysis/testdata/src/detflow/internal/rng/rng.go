@@ -1,0 +1,12 @@
+// Package rng mirrors the sanctioned internal/rng location: detflow
+// treats any internal/rng path as a sanitizer, so the clock read below
+// must never propagate into the roots that call Jitter.
+package rng
+
+import "time"
+
+// Jitter reads the wall clock inside the sanitized package; callers
+// stay clean.
+func Jitter() float64 {
+	return float64(time.Now().UnixNano())
+}

@@ -1,0 +1,84 @@
+// Package search declares the fixture's deterministic roots: its path
+// mirrors internal/search, so every exported function is a root. No
+// function here calls a clock directly — each finding requires the
+// call graph — which is exactly what the per-file nodeterm analyzer
+// cannot see (TestDetFlowCatchesWhatNoDetermMisses pins that).
+package search
+
+import (
+	"sort"
+	"time"
+
+	rngfix "repro/internal/analysis/testdata/src/detflow/internal/rng"
+	"repro/internal/analysis/testdata/src/detflow/internal/timeutil"
+)
+
+// sampler is dispatched through an interface: the call graph resolves
+// it conservatively to every implementation in the analyzed set.
+type sampler interface {
+	Sample() float64
+}
+
+// Pick reaches timeutil.Stamp's clock read through a direct
+// cross-package call.
+func Pick() float64 {
+	return timeutil.Stamp()
+}
+
+// Drive reaches Jitter.Sample through interface dispatch.
+func Drive(s sampler) float64 {
+	return s.Sample()
+}
+
+// Hedge reaches Jitter.Sample through a captured method value.
+func Hedge() float64 {
+	j := timeutil.Jitter{}
+	f := j.Sample
+	return f()
+}
+
+// plan carries a function-typed field; calling it resolves to every
+// address-taken function of matching signature.
+type plan struct {
+	gen func() float64
+}
+
+// RunPlan reaches Jitter.Sample through the function-typed field.
+func RunPlan(p plan) float64 {
+	return p.gen()
+}
+
+// Keys leaks map iteration order into its return value: the one source
+// kind that is intrinsic to the root itself.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "detflow: map range \(order reaches return value\) \(map order\) reaches deterministic root search\.Keys"
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned shape: the sort call sanitizes the
+// append before the slice returns.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Capture takes the clock function as a value without calling it at
+// the capture site — nodeterm's call matcher misses this shape even
+// inside its own Match scope.
+func Capture() int64 {
+	f := time.Now // want "detflow: time\.Now \(captured as a function value\) \(wall clock\) reaches deterministic root search\.Capture"
+	return f().UnixNano()
+}
+
+// Seeded calls into the sanitized rng package: its clock read is
+// sanctioned and must produce no finding.
+func Seeded() float64 {
+	return rngfix.Jitter()
+}

@@ -1,0 +1,23 @@
+// Package timeutil hides nondeterminism one package away from the
+// search entry points: nodeterm's Match never runs here, so only the
+// interprocedural detflow analyzer can connect the clock reads below
+// to the deterministic roots that (transitively) call them.
+package timeutil
+
+import "time"
+
+// Stamp reads the wall clock; fix/detflow/internal/search.Pick calls
+// it directly across the package boundary.
+func Stamp() float64 {
+	return float64(time.Now().UnixNano()) // want "detflow: time\.Now \(wall clock\) reaches deterministic root search\.Pick via search\.Pick → timeutil\.Stamp → time\.Now"
+}
+
+// Jitter implements search's sampler interface; its clock read is only
+// reachable through an interface dispatch, a captured method value, or
+// a function-typed field.
+type Jitter struct{}
+
+// Sample reads the wall clock behind dynamic dispatch.
+func (Jitter) Sample() float64 {
+	return float64(time.Now().UnixNano()) // want "detflow: time\.Now \(wall clock\) reaches deterministic root search\.Drive"
+}

@@ -1,0 +1,96 @@
+// Package broker mirrors the live broker's path so lockshape's
+// blocked-channel rule (which only applies to queue/pool concurrency
+// packages) is in scope; the copy and WaitGroup rules apply everywhere.
+package broker
+
+import (
+	"context"
+	"sync"
+)
+
+// Queue is the fixture's lock-bearing type.
+type Queue struct {
+	mu    sync.Mutex
+	items chan int
+}
+
+// Snapshot copies the queue — and its mutex — through a value
+// receiver.
+func (q Queue) Snapshot() int { // want "lockshape: value receiver of Snapshot copies sync\.Mutex by value"
+	return len(q.items)
+}
+
+// Drain copies the queue through a value parameter.
+func Drain(q Queue) int { // want "lockshape: parameter of Drain copies sync\.Mutex by value"
+	return len(q.items)
+}
+
+// Clone copies the queue through an assignment.
+func Clone(q *Queue) int {
+	cp := *q // want "lockshape: assignment copies sync\.Mutex by value \(from \*q\)"
+	return len(cp.items)
+}
+
+// Publish sends on a channel while holding the lock: the goroutine
+// that would drain items may be blocked on the same lock.
+func (q *Queue) Publish(v int) {
+	q.mu.Lock()
+	q.items <- v // want "lockshape: channel send while holding q\.mu"
+	q.mu.Unlock()
+}
+
+// Await parks on ctx.Done with the lock held.
+func (q *Queue) Await(ctx context.Context) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	<-ctx.Done() // want "lockshape: <-ctx\.Done\(\) wait while holding q\.mu"
+}
+
+// Fanout blocks in a select with no default while holding the lock.
+func (q *Queue) Fanout(ctx context.Context, v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want "lockshape: select without default while holding q\.mu"
+	case q.items <- v:
+	case <-ctx.Done():
+	}
+}
+
+// PublishUnlocked is the sanctioned shape: release, then send.
+func (q *Queue) PublishUnlocked(v int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.items <- v
+}
+
+// TrySend never blocks — the default clause makes the select safe
+// under the lock.
+func (q *Queue) TrySend(v int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.items <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// SpawnAdd counts the goroutine from inside itself: Wait can return
+// before the goroutine runs Add.
+func SpawnAdd(wg *sync.WaitGroup, done chan struct{}) {
+	go func() {
+		wg.Add(1) // want "lockshape: WaitGroup\.Add inside the spawned goroutine"
+		defer wg.Done()
+		<-done
+	}()
+}
+
+// SpawnCounted is the sanctioned shape: Add on the spawning side.
+func SpawnCounted(wg *sync.WaitGroup, done chan struct{}) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-done
+	}()
+}

@@ -1,0 +1,16 @@
+// Package client sits outside the wire package: the unkeyed-literal
+// rule is module-wide, because a positional Frame literal anywhere
+// silently reshuffles when the wire format grows a field.
+package client
+
+import remote "repro/internal/analysis/testdata/src/wiresafe/internal/broker/remote"
+
+// Build assembles a frame positionally — the shape wiresafe rejects.
+func Build() remote.Frame {
+	return remote.Frame{0, 0, nil, remote.Inner{}, remote.Sealed{}, nil} // want "wiresafe: unkeyed composite literal of wire type Frame"
+}
+
+// BuildKeyed is the sanctioned shape.
+func BuildKeyed() remote.Frame {
+	return remote.Frame{Ratio: 1}
+}

@@ -1,0 +1,52 @@
+// Package remote mirrors the live wire package's path so wiresafe
+// treats its json.Marshal calls as wire roots. Each type below trips
+// exactly one closure rule.
+package remote
+
+import "encoding/json"
+
+// Celsius is a named float without marshalers: non-finite values would
+// not survive the wire.
+type Celsius float64
+
+// Frame is the fixture's wire envelope; Encode pins it as a root.
+type Frame struct {
+	Score Celsius        // want "wiresafe: wire field Frame\.Score has float type Celsius without MarshalJSON/UnmarshalJSON"
+	Ratio float64        // want "wiresafe: wire field Frame\.Ratio is a bare float64"
+	ByID  map[int]string // want "wiresafe: wire field Frame\.ByID is a map with non-string key type int"
+	Inner Inner
+	Safe  Sealed
+	Tags  map[string]string // string keys: encoding/json sorts them, allowed
+}
+
+// Inner rides inside Frame: the closure reaches it through the field.
+type Inner struct {
+	Skew float32 // want "wiresafe: wire field Inner\.Skew is a bare float32"
+}
+
+// Sealed owns its encoding (both marshalers), so the closure does not
+// descend into its fields — but rule 4 still inspects its MarshalJSON.
+type Sealed struct {
+	set map[string]float64
+}
+
+// MarshalJSON iterates a map: randomized order would reach the wire.
+func (s Sealed) MarshalJSON() ([]byte, error) {
+	total := 0.0
+	for _, v := range s.set { // want "wiresafe: map range inside Sealed\.MarshalJSON"
+		total += v
+	}
+	return json.Marshal(total)
+}
+
+// UnmarshalJSON completes the round-trip contract.
+func (s *Sealed) UnmarshalJSON(b []byte) error {
+	s.set = nil
+	return nil
+}
+
+// Encode is the wire root: everything reachable from Frame is on the
+// wire.
+func Encode(f Frame) ([]byte, error) {
+	return json.Marshal(f)
+}

@@ -202,6 +202,7 @@ func (p *Pool) AddConn(conn net.Conn) (int, error) {
 	fc := newFrameConn(conn, fmt.Sprintf("p:s%d", id), p.opt.Faults)
 	// Bound the handshake so a stalled dialer cannot wedge an accept
 	// loop; the deadline is cleared once the session is live.
+	//lint:ignore detflow liveness-only: the handshake deadline bounds a stalled dialer and never reaches task outcomes or wire payload bytes
 	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
 		_ = fc.close()
 		return 0, fmt.Errorf("remote: handshake deadline: %w", err)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -62,7 +63,7 @@ type Forest struct {
 // substream, so the result is independent of scheduling and identical to
 // a sequential fit).
 func Fit(X [][]float64, y []float64, p Params, r *rng.RNG) (*Forest, error) {
-	fitStart := time.Now()
+	fitSW := obs.StartTimer()
 	if len(X) == 0 || len(X) != len(y) {
 		return nil, fmt.Errorf("forest: need non-empty, equal-length X and y (%d, %d)", len(X), len(y))
 	}
@@ -133,7 +134,7 @@ func Fit(X [][]float64, y []float64, p Params, r *rng.RNG) (*Forest, error) {
 		f.oobValid = true
 	}
 	f.fitRows = n
-	f.fitDur = time.Since(fitStart)
+	f.fitDur = fitSW.Elapsed()
 	return f, nil
 }
 

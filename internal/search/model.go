@@ -87,9 +87,9 @@ type timedModel struct {
 
 // Predict implements Model.
 func (tm *timedModel) Predict(x []float64) float64 {
-	t0 := time.Now() //lint:ignore nodeterm observability-only: measures model latency for obs events, never feeds the search
+	sw := obs.StartTimer()
 	v := tm.m.Predict(x)
-	tm.dur += time.Since(t0) //lint:ignore nodeterm observability-only: accumulated into an obs duration field
+	tm.dur += sw.Elapsed()
 	tm.n++
 	return v
 }
@@ -98,9 +98,9 @@ func (tm *timedModel) Predict(x []float64) float64 {
 // batched path, counting one call per row so a traced run reports the
 // same prediction count a row-by-row loop would.
 func (tm *timedModel) PredictAll(X [][]float64) []float64 {
-	t0 := time.Now() //lint:ignore nodeterm observability-only: measures model latency for obs events, never feeds the search
+	sw := obs.StartTimer()
 	out := predictAll(tm.m, X)
-	tm.dur += time.Since(t0) //lint:ignore nodeterm observability-only: accumulated into an obs duration field
+	tm.dur += sw.Elapsed()
 	tm.n += len(X)
 	return out
 }
