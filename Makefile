@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race lint crashtest trace-smoke bench-parallel bench-json broker-chaos
+.PHONY: check build vet test race lint crashtest trace-smoke bench-parallel bench-json broker-chaos daemon-smoke
 
 # check is the full local CI gate: build everything, run the static
 # analyzers, and run the test suite under the race detector.
@@ -47,10 +47,11 @@ bench-parallel:
 # throughput, remote loopback dispatch (framing + heartbeat + lease
 # overhead per evaluation), fully traced remote dispatch (span
 # emission + recorder ring on top of the loopback path), end-to-end
-# RSp/RSb inline vs brokered, forest batched prediction, and the
+# RSp/RSb inline vs brokered, the isolated pool-scoring prelude those
+# searches pay up front, forest fit and batched prediction, and the
 # full-module repolint analysis gate (parse + type-check + all nine
 # analyzers, so gate latency joins the tracked trajectory) — and
-# converts the combined output into BENCH_PR9.json (committed as the
+# converts the combined output into BENCH_PR10.json (committed as the
 # PR's trajectory point; CI regenerates and uploads it). bench-raw.txt
 # keeps the raw `go test -bench` lines.
 bench-json:
@@ -58,9 +59,10 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkRemoteDispatch' -benchtime 2x ./internal/broker/remote/ >> bench-raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkDistributedTrace' -benchtime 2x ./internal/broker/remote/ >> bench-raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkEndToEndRS[pb]' -benchtime 2x . >> bench-raw.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkForestPredict' -benchtime 2x ./internal/forest/ >> bench-raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkPoolScoring' -benchtime 2x . >> bench-raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkForest(Fit|Predict)' -benchtime 2x ./internal/forest/ >> bench-raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkRepolint' -benchtime 2x ./internal/analysis/ >> bench-raw.txt
-	$(GO) run ./cmd/benchjson -o BENCH_PR9.json < bench-raw.txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR10.json < bench-raw.txt
 
 # broker-chaos runs the broker suite and its randomized chaos campaign
 # under the race detector, verbosely (CI uploads the log on failure).
@@ -70,6 +72,15 @@ bench-json:
 broker-chaos:
 	rm -rf flight-dumps && mkdir -p flight-dumps
 	REPRO_FLIGHT_DIR=flight-dumps $(GO) test -race -count=1 -v ./internal/broker/... 2>&1 | tee broker-chaos.txt
+
+# daemon-smoke runs the cmd/autotuned end-to-end suite verbosely: real
+# daemon processes exercised over HTTP — submit/poll/cache-hit
+# resubmit, SIGKILL → restart → bit-identical resume, cache artifact
+# persistence. Daemon stderr logs land in daemon-logs/ (CI uploads the
+# directory only when the suite fails).
+daemon-smoke:
+	rm -rf daemon-logs && mkdir -p daemon-logs
+	AUTOTUNED_E2E_LOGDIR=$(CURDIR)/daemon-logs $(GO) test -count=1 -v ./cmd/autotuned/
 
 # trace-smoke runs a small traced, faulted, journaled search and checks
 # that tracestat can parse and summarize the trace. The trace lands in

@@ -27,6 +27,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/search"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // benchConfig is the reduced scale used by the per-figure benchmarks.
@@ -417,6 +418,28 @@ func BenchmarkEndToEndRSp(b *testing.B) {
 					rng.NewNamed(2016, "crn-stream"), rng.NewNamed(2016, "pool"))
 			}
 		})
+	}
+}
+
+// BenchmarkPoolScoring isolates the model-guided searches' hot prelude
+// — draw the candidate pool, encode every configuration, score it
+// through the surrogate's batched path, take the cutoff quantile —
+// which RSp/RSb both pay before their first evaluation. The end-to-end
+// benchmarks above fold this into total search time; this one gives the
+// ROADMAP speed campaign (allocation-free pool scoring, contiguous tree
+// layout) a number to move on its own.
+func BenchmarkPoolScoring(b *testing.B) {
+	tgt, sur := benchSurrogate(b)
+	spc := tgt.Space()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := spc.SamplePool(2000, rng.NewNamed(2016, "pool"))
+		X := make([][]float64, len(pool))
+		for j, c := range pool {
+			X[j] = spc.Encode(c)
+		}
+		preds := sur.PredictAll(X)
+		stats.Quantile(preds, 0.2)
 	}
 }
 

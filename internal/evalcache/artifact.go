@@ -1,0 +1,198 @@
+package evalcache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/search"
+	"repro/internal/space"
+)
+
+// The cache artifact: a versioned JSON document so tuning knowledge
+// ships with a program (the kubecl idea made first-class). Entries are
+// exported in sorted key order, so two exports of the same cache are
+// byte-identical and diff cleanly; run times follow the journal's
+// pointer convention (+Inf — a failed evaluation — is encoded by
+// omitting the field, since JSON cannot represent it).
+
+// ArtifactVersion is the current artifact wire version. Import refuses
+// other versions loudly instead of guessing.
+const ArtifactVersion = 1
+
+// ErrBadArtifact tags every structural import failure so callers can
+// distinguish a corrupt artifact from plain I/O errors.
+var ErrBadArtifact = errors.New("evalcache: bad artifact")
+
+// jsonEntry is one memoized outcome on the wire.
+type jsonEntry struct {
+	Scope   string   `json:"scope"`
+	Config  []int    `json:"config"`
+	Run     *float64 `json:"run,omitempty"`
+	Cost    float64  `json:"cost"`
+	Status  string   `json:"status"`
+	Retries int      `json:"retries,omitempty"`
+}
+
+// jsonArtifact is the top-level document.
+type jsonArtifact struct {
+	Version int         `json:"version"`
+	Entries []jsonEntry `json:"entries"`
+}
+
+// Export writes the cache as a versioned JSON artifact. Entries are
+// sorted by cache key, so the bytes are a deterministic function of the
+// cache contents.
+func (ch *Cache) Export(w io.Writer) error {
+	ch.mu.RLock()
+	keys := make([]string, 0, len(ch.m))
+	for k := range ch.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	doc := jsonArtifact{Version: ArtifactVersion, Entries: make([]jsonEntry, 0, len(keys))}
+	for _, k := range keys {
+		o := ch.m[k]
+		scope, cfg, err := splitKey(k)
+		if err != nil {
+			ch.mu.RUnlock()
+			return err
+		}
+		e := jsonEntry{
+			Scope: scope, Config: cfg,
+			Cost: o.Cost, Status: o.Status.String(), Retries: o.Retries,
+		}
+		if !math.IsInf(o.RunTime, 0) && !math.IsNaN(o.RunTime) {
+			rt := o.RunTime
+			e.Run = &rt
+		}
+		doc.Entries = append(doc.Entries, e)
+	}
+	ch.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// splitKey recovers (scope, config) from a cache key. The config part
+// is the Config.Key() digits-and-commas form.
+func splitKey(k string) (string, []int, error) {
+	for i := len(k) - 1; i >= 0; i-- {
+		if k[i] == 0 {
+			cfg, err := parseConfigKey(k[i+1:])
+			if err != nil {
+				return "", nil, err
+			}
+			return k[:i], cfg, nil
+		}
+	}
+	return "", nil, fmt.Errorf("evalcache: malformed cache key %q", k)
+}
+
+// parseConfigKey is the inverse of space.Config.Key.
+func parseConfigKey(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("evalcache: empty config key")
+	}
+	var out []int
+	v, seen := 0, false
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if !seen {
+				return nil, fmt.Errorf("evalcache: malformed config key %q", s)
+			}
+			out = append(out, v)
+			v, seen = 0, false
+			continue
+		}
+		d := s[i]
+		if d < '0' || d > '9' {
+			return nil, fmt.Errorf("evalcache: malformed config key %q", s)
+		}
+		v = v*10 + int(d-'0')
+		seen = true
+	}
+	return out, nil
+}
+
+// ImportStats summarizes one artifact import.
+type ImportStats struct {
+	// Added is the number of entries newly memoized.
+	Added int `json:"added"`
+	// Skipped is the number of entries whose key the cache already held
+	// (first write wins; the existing outcome is kept).
+	Skipped int `json:"skipped"`
+	// Total is the number of entries the artifact carried.
+	Total int `json:"total"`
+}
+
+// Import merges a versioned artifact into the cache. Every entry is
+// validated before anything is merged — a corrupt artifact is rejected
+// whole rather than half-applied — and conflicts resolve first-write-
+// wins (the cache's own measurements are never overwritten by an
+// import). All structural failures wrap ErrBadArtifact.
+func (ch *Cache) Import(r io.Reader) (ImportStats, error) {
+	var doc jsonArtifact
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return ImportStats{}, fmt.Errorf("%w: decoding: %v", ErrBadArtifact, err)
+	}
+	if doc.Version != ArtifactVersion {
+		return ImportStats{}, fmt.Errorf("%w: unsupported version %d (want %d)",
+			ErrBadArtifact, doc.Version, ArtifactVersion)
+	}
+	outcomes := make([]Outcome, len(doc.Entries))
+	for i, e := range doc.Entries {
+		o, err := e.outcome()
+		if err != nil {
+			return ImportStats{}, fmt.Errorf("%w: entry %d: %v", ErrBadArtifact, i, err)
+		}
+		outcomes[i] = o
+	}
+	stats := ImportStats{Total: len(doc.Entries)}
+	for i, e := range doc.Entries {
+		if ch.Put(e.Scope, space.Config(e.Config), outcomes[i]) {
+			stats.Added++
+		} else {
+			stats.Skipped++
+		}
+	}
+	return stats, nil
+}
+
+// outcome validates one wire entry and converts it back.
+func (e jsonEntry) outcome() (Outcome, error) {
+	if e.Scope == "" {
+		return Outcome{}, fmt.Errorf("empty scope")
+	}
+	if len(e.Config) == 0 {
+		return Outcome{}, fmt.Errorf("empty config")
+	}
+	for _, v := range e.Config {
+		if v < 0 {
+			return Outcome{}, fmt.Errorf("negative config level %d", v)
+		}
+	}
+	st, err := search.ParseStatus(e.Status)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if math.IsNaN(e.Cost) || math.IsInf(e.Cost, 0) || e.Cost < 0 {
+		return Outcome{}, fmt.Errorf("invalid cost %v", e.Cost)
+	}
+	if e.Retries < 0 {
+		return Outcome{}, fmt.Errorf("negative retry count %d", e.Retries)
+	}
+	rt := math.Inf(1)
+	if e.Run != nil {
+		rt = *e.Run
+		if math.IsNaN(rt) || math.IsInf(rt, 0) {
+			return Outcome{}, fmt.Errorf("non-finite run time %v", rt)
+		}
+	} else if st != search.StatusFailed {
+		return Outcome{}, fmt.Errorf("missing run time on %s entry", st)
+	}
+	return Outcome{RunTime: rt, Cost: e.Cost, Status: st, Retries: e.Retries}, nil
+}

@@ -2,9 +2,38 @@ package forest
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 )
+
+// ErrCorruptModel tags every structural validation failure in Load, so
+// callers can distinguish a corrupt/adversarial model document from
+// plain I/O errors with errors.Is.
+var ErrCorruptModel = errors.New("forest: corrupt model")
+
+// CorruptModelError pinpoints where a model document is broken. Node is
+// -1 when the defect is tree-wide.
+type CorruptModelError struct {
+	Tree   int
+	Node   int
+	Reason string
+}
+
+func (e *CorruptModelError) Error() string {
+	if e.Node < 0 {
+		return fmt.Sprintf("forest: corrupt model: tree %d: %s", e.Tree, e.Reason)
+	}
+	return fmt.Sprintf("forest: corrupt model: tree %d node %d: %s", e.Tree, e.Node, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrCorruptModel) true.
+func (e *CorruptModelError) Unwrap() error { return ErrCorruptModel }
+
+func corrupt(tree, node int, format string, a ...any) error {
+	return &CorruptModelError{Tree: tree, Node: node, Reason: fmt.Sprintf(format, a...)}
+}
 
 // The wire format for fitted models: a versioned JSON document. In the
 // paper's workflow the surrogate is built on one machine and shipped to
@@ -73,19 +102,30 @@ func Load(r io.Reader) (*Forest, error) {
 	}
 	f := &Forest{nf: doc.Features, oobError: doc.OOBError, oobValid: doc.OOBValid}
 	for ti, jt := range doc.Trees {
+		if len(jt.Nodes) == 0 {
+			return nil, corrupt(ti, -1, "tree is empty")
+		}
 		t := &Tree{nodes: make([]node, len(jt.Nodes))}
 		for i, jn := range jt.Nodes {
 			if jn.Feature >= doc.Features {
-				return nil, fmt.Errorf("forest: tree %d node %d references feature %d of %d",
-					ti, i, jn.Feature, doc.Features)
+				return nil, corrupt(ti, i, "references feature %d of %d", jn.Feature, doc.Features)
+			}
+			if math.IsNaN(jn.Value) || math.IsInf(jn.Value, 0) {
+				return nil, corrupt(ti, i, "non-finite value %v", jn.Value)
+			}
+			if jn.Count < 0 {
+				return nil, corrupt(ti, i, "negative sample count %d", jn.Count)
 			}
 			if jn.Feature >= 0 {
+				if math.IsNaN(jn.Threshold) {
+					return nil, corrupt(ti, i, "NaN split threshold")
+				}
 				if jn.Left < 0 || jn.Left >= len(jt.Nodes) ||
 					jn.Right < 0 || jn.Right >= len(jt.Nodes) {
-					return nil, fmt.Errorf("forest: tree %d node %d has dangling children", ti, i)
+					return nil, corrupt(ti, i, "dangling children (%d, %d of %d)", jn.Left, jn.Right, len(jt.Nodes))
 				}
-				if jn.Left == i || jn.Right == i {
-					return nil, fmt.Errorf("forest: tree %d node %d is self-referential", ti, i)
+				if jn.Left == jn.Right {
+					return nil, corrupt(ti, i, "children collide (both %d)", jn.Left)
 				}
 			}
 			t.nodes[i] = node{
@@ -94,10 +134,71 @@ func Load(r io.Reader) (*Forest, error) {
 				value: jn.Value, count: jn.Count, gain: jn.Gain,
 			}
 		}
-		if len(t.nodes) == 0 {
-			return nil, fmt.Errorf("forest: tree %d is empty", ti)
+		if err := validateShape(ti, t.nodes); err != nil {
+			return nil, err
 		}
 		f.trees = append(f.trees, t)
 	}
 	return f, nil
+}
+
+// validateShape proves t.nodes is a proper binary tree rooted at node 0
+// — the structural guarantee Tree.Predict relies on to terminate. The
+// per-node checks above only reject local defects (dangling or
+// self-referential children); a multi-node cycle (A→B→A), a shared
+// subtree, or an orphaned region passes them and, before this walk
+// existed, made Predict loop forever on an adversarial model file.
+//
+// Two passes suffice: (1) every node's indegree over the child edges
+// must be 0 for the root and exactly 1 elsewhere — any cycle reachable
+// from the root needs a doubly-parented entry node, and a cycle through
+// the root gives the root a parent; (2) every node must be reachable
+// from the root — which also rules out disconnected cycles, whose nodes
+// can never be reached. Together they imply acyclicity, so every
+// Predict descent strictly consumes unvisited nodes and terminates.
+func validateShape(ti int, nodes []node) error {
+	indeg := make([]int, len(nodes))
+	for i, n := range nodes {
+		if n.feature < 0 {
+			continue
+		}
+		for _, c := range [2]int{n.left, n.right} {
+			indeg[c]++
+			if c == 0 {
+				return corrupt(ti, i, "cycle: root is a child of node %d", i)
+			}
+			if indeg[c] > 1 {
+				return corrupt(ti, c, "cycle or shared subtree: node has %d parents", indeg[c])
+			}
+		}
+	}
+	seen := make([]bool, len(nodes))
+	stack := []int{0}
+	seen[0] = true
+	visited := 1
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := nodes[i]
+		if n.feature < 0 {
+			continue
+		}
+		// indeg <= 1 everywhere makes revisits impossible here; children
+		// are marked before pushing purely to keep the count exact.
+		for _, c := range [2]int{n.left, n.right} {
+			if !seen[c] {
+				seen[c] = true
+				visited++
+				stack = append(stack, c)
+			}
+		}
+	}
+	if visited != len(nodes) {
+		for i, ok := range seen {
+			if !ok {
+				return corrupt(ti, i, "unreachable node (%d of %d reachable from the root)", visited, len(nodes))
+			}
+		}
+	}
+	return nil
 }

@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
+	"time"
 )
 
 // MetricsServer is the zero-dependency observability endpoint shared by
@@ -14,9 +16,14 @@ import (
 // same atomic/locked accessors the sinks write through, so scraping
 // cannot perturb results.
 type MetricsServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln    net.Listener
+	srv   *http.Server
+	grace time.Duration
 }
+
+// closeGrace bounds how long Close waits for in-flight scrapes before
+// aborting them.
+const closeGrace = 2 * time.Second
 
 // ServeMetrics starts serving reg on addr (e.g. "127.0.0.1:9090", or
 // ":0" to pick a free port) in a background goroutine. Close the
@@ -35,7 +42,7 @@ func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	s := &MetricsServer{ln: ln, srv: &http.Server{Handler: mux}}
+	s := &MetricsServer{ln: ln, srv: &http.Server{Handler: mux}, grace: closeGrace}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
@@ -43,5 +50,42 @@ func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
 // Addr returns the bound address, useful with ":0".
 func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and in-flight handlers.
-func (s *MetricsServer) Close() error { return s.srv.Close() }
+// Close stops accepting connections and lets in-flight scrapes finish,
+// bounded by a short grace period; handlers still running past it are
+// aborted. The old behavior — http.Server.Close outright — cut the
+// connection under a scraper mid-response, so a shutdown racing a
+// /metrics poll returned truncated bodies.
+func (s *MetricsServer) Close() error {
+	done := make(chan struct{})
+	tm := time.AfterFunc(s.grace, func() { close(done) })
+	defer tm.Stop()
+	if err := s.srv.Shutdown(graceCtx{done: done}); err != nil {
+		// Grace expired (or the listener already failed): abort whatever
+		// is still in flight so Close never hangs.
+		cerr := s.srv.Close()
+		if err == context.DeadlineExceeded {
+			return cerr
+		}
+		return err
+	}
+	return nil
+}
+
+// graceCtx adapts a plain channel into the context.Context that
+// http.Server.Shutdown wants, without minting a fresh background
+// context outside package main (the repo's ctxflow rule). No deadline
+// is advertised; Shutdown only watches Done.
+type graceCtx struct{ done <-chan struct{} }
+
+func (c graceCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c graceCtx) Done() <-chan struct{}       { return c.done }
+func (c graceCtx) Value(any) any               { return nil }
+
+func (c graceCtx) Err() error {
+	select {
+	case <-c.done:
+		return context.DeadlineExceeded
+	default:
+		return nil
+	}
+}

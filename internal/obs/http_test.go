@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// slowMetricsServer builds a MetricsServer around a handler that blocks
+// until release is closed, signalling started once a request is inside.
+func slowMetricsServer(t *testing.T, grace time.Duration, started, release chan struct{}) *MetricsServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		fmt.Fprint(w, "complete")
+	})
+	s := &MetricsServer{ln: ln, srv: &http.Server{Handler: mux}, grace: grace}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s
+}
+
+// TestMetricsServerCloseDrainsInFlight pins the shutdown bugfix: Close
+// must let a scrape that is already inside a handler run to completion
+// instead of cutting its connection mid-response.
+func TestMetricsServerCloseDrainsInFlight(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s := slowMetricsServer(t, 5*time.Second, started, release)
+
+	type reply struct {
+		body string
+		err  error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/slow")
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- reply{body: string(b), err: err}
+	}()
+
+	<-started
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	// Close is now draining; the handler is still blocked. Releasing it
+	// must yield the full body to the client and a nil Close error.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight scrape failed during Close: %v", r.err)
+	}
+	if r.body != "complete" {
+		t.Fatalf("in-flight scrape truncated: got %q", r.body)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestMetricsServerCloseBounded proves the other side of the contract:
+// a handler that never finishes cannot wedge Close past the grace
+// period.
+func TestMetricsServerCloseBounded(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	s := slowMetricsServer(t, 30*time.Millisecond, started, release)
+
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close after expired grace: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a stuck handler")
+	}
+}
